@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures.
+
+Datasets are built once per session at a scale controlled by the
+``REPRO_BENCH_REQUESTS`` environment variable (default 80,000 JSON
+requests — large enough for stable marginals, small enough to run the
+whole harness in minutes).  Heavy analyses are cached in module-level
+stores so that e.g. Figure 5 and Figure 6 share one detection run
+while each still benchmarks its own aggregation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.synth.workload import (
+    WorkloadBuilder,
+    long_term_config,
+    short_term_config,
+)
+
+BENCH_SEED = 2019
+
+
+def _bench_requests() -> int:
+    return int(os.environ.get("REPRO_BENCH_REQUESTS", "80000"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    return _bench_requests()
+
+
+@pytest.fixture(scope="session")
+def short_bench_dataset():
+    """Short-term-shaped dataset (10 min, wide) for §4 benchmarks."""
+    config = short_term_config(_bench_requests(), seed=BENCH_SEED)
+    return WorkloadBuilder(config).build()
+
+
+@pytest.fixture(scope="session")
+def long_bench_dataset():
+    """Long-term-shaped dataset (24 h, narrow) for §5 benchmarks."""
+    config = long_term_config(_bench_requests(), seed=BENCH_SEED)
+    return WorkloadBuilder(config).build()
+
+
+@pytest.fixture(scope="session")
+def short_bench_json(short_bench_dataset):
+    return [record for record in short_bench_dataset.logs if record.is_json]
+
+
+@pytest.fixture(scope="session")
+def long_bench_json(long_bench_dataset):
+    return [record for record in long_bench_dataset.logs if record.is_json]
+
+
+def print_comparison(title, rows):
+    """Print a paper-vs-measured table.
+
+    ``rows`` is a list of (metric, paper value, measured value).
+    """
+    width = max(len(str(metric)) for metric, _, _ in rows)
+    print(f"\n=== {title} ===")
+    print(f"{'metric'.ljust(width)}  {'paper':>10}  {'measured':>10}")
+    for metric, paper, measured in rows:
+        paper_s = f"{paper:.3f}" if isinstance(paper, float) else str(paper)
+        meas_s = f"{measured:.3f}" if isinstance(measured, float) else str(measured)
+        print(f"{str(metric).ljust(width)}  {paper_s:>10}  {meas_s:>10}")

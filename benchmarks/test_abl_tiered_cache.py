@@ -1,0 +1,92 @@
+"""Ablation A4 — cache hierarchy depth.
+
+§4 observes that uncacheable-or-missed JSON "propagates from the edge
+server through the CDN to origin content servers".  Real CDNs insert
+a regional parent tier on that path; this ablation measures how much
+origin load the tier absorbs for the JSON workload, replaying the
+same event stream through flat (edge→origin) and tiered
+(edge→parent→origin) deployments.
+"""
+
+import pytest
+
+from repro.cdn.cache import LruTtlCache
+from repro.cdn.edge import EdgeServer
+from repro.cdn.metrics import DeliveryMetrics
+from repro.cdn.network import LatencyModel
+from repro.cdn.origin import OriginFleet
+from repro.synth.rng import substream
+from repro.synth.sizes import SizeModel
+from repro.synth.workload import WorkloadBuilder, long_term_config
+
+from .conftest import BENCH_SEED, print_comparison
+
+
+@pytest.fixture(scope="module")
+def event_stream(bench_scale):
+    config = long_term_config(
+        min(bench_scale, 50_000), seed=BENCH_SEED + 4, num_domains=80,
+        num_edges=6,
+    )
+    builder = WorkloadBuilder(config)
+    events, _ = builder.build_events()
+    return builder, events
+
+
+def _replay(builder, events, tiered: bool):
+    origins = OriginFleet()
+    parent = LruTtlCache(1 << 28) if tiered else None
+    size_model = SizeModel(substream(BENCH_SEED, "a4", "sz"))
+    edges = [
+        EdgeServer(
+            f"edge-{index}",
+            LruTtlCache(1 << 24),
+            origins,
+            LatencyModel(substream(BENCH_SEED, "a4", "lat", str(index))),
+            size_model,
+            substream(BENCH_SEED, "a4", "edge", str(index)),
+            parent=parent,
+        )
+        for index in range(builder.config.num_edges)
+    ]
+    metrics = DeliveryMetrics()
+    for event in events:
+        edge = edges[int(event.client.ip_hash[:8], 16) % len(edges)]
+        metrics.record(edge.serve(event))
+    parent_hits = sum(edge.parent_hits for edge in edges)
+    return metrics, origins, parent_hits
+
+
+def test_abl_parent_tier_offloads_origin(event_stream, benchmark):
+    builder, events = event_stream
+
+    def run_both():
+        flat = _replay(builder, events, tiered=False)
+        tiered = _replay(builder, events, tiered=True)
+        return flat, tiered
+
+    (flat_metrics, flat_origins, _), (tier_metrics, tier_origins, parent_hits) = (
+        benchmark.pedantic(run_both, rounds=1, iterations=1)
+    )
+
+    saved = 1.0 - tier_origins.total_requests / flat_origins.total_requests
+    print_comparison(
+        "A4 — parent cache tier",
+        [
+            ("origin fetches (flat)", "-", float(flat_origins.total_requests)),
+            ("origin fetches (tiered)", "-", float(tier_origins.total_requests)),
+            ("origin load saved", "-", saved),
+            ("parent-tier hits", "-", float(parent_hits)),
+            ("edge hit ratio (flat)", "-", flat_metrics.hit_ratio),
+            ("edge hit ratio (tiered)", "-", tier_metrics.hit_ratio),
+        ],
+    )
+
+    # The tier absorbs cross-edge redundancy: real origin savings...
+    assert tier_origins.total_requests < flat_origins.total_requests
+    assert saved > 0.03
+    assert parent_hits > 0
+    # ...without changing the edge-level hit ratio (same caches).
+    assert abs(tier_metrics.hit_ratio - flat_metrics.hit_ratio) < 0.01
+    # And mean latency improves (parent hops are shorter than origin).
+    assert tier_metrics.mean_latency_s < flat_metrics.mean_latency_s

@@ -1,0 +1,47 @@
+"""Figure 1 — JSON:HTML request ratio on the CDN, 2016 → mid-2019.
+
+Paper: JSON outgrows HTML over the window; at the end of the
+observation period JSON is requested more than 4x as often as HTML.
+"""
+
+from repro.analysis.trend import analyze_trend, snapshot_ratio
+from repro.synth.calibration import PAPER
+from repro.synth.trend import TrendModel
+
+from .conftest import BENCH_SEED, print_comparison
+
+
+def test_fig1_json_html_ratio_trend(benchmark):
+    model = TrendModel(seed=BENCH_SEED)
+    analysis = benchmark.pedantic(
+        lambda: analyze_trend(model.series()), rounds=1, iterations=1
+    )
+
+    print_comparison(
+        "Figure 1 — JSON:HTML ratio",
+        [
+            ("end-of-window ratio", PAPER.json_html_ratio_2019, analysis.end_ratio),
+            ("start-of-window ratio", 1.0, analysis.start_ratio),
+            ("growth factor", 4.0, analysis.growth_factor),
+        ],
+    )
+
+    # Shape: starts near parity, ends above 4x, and the smoothed
+    # trend rises monotonically through the window.
+    assert analysis.start_ratio < 1.5
+    assert analysis.end_ratio > PAPER.json_html_ratio_2019
+    assert analysis.is_monotonic_trend()
+    # JSON overtakes HTML early in the window, as Figure 1 shows.
+    assert analysis.crossover_month() < "2017-06"
+
+
+def test_fig1_snapshot_ratio_in_2019_dataset(short_bench_dataset, benchmark):
+    """The 2019-epoch dataset itself reflects the end-of-trend ratio."""
+    ratio = benchmark.pedantic(
+        lambda: snapshot_ratio(short_bench_dataset.logs), rounds=1, iterations=1
+    )
+    print_comparison(
+        "Figure 1 — 2019 dataset snapshot",
+        [("JSON:HTML ratio", PAPER.json_html_ratio_2019, ratio)],
+    )
+    assert 3.0 < ratio < 7.0

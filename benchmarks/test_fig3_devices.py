@@ -1,0 +1,80 @@
+"""Figure 3 + §4 traffic source.
+
+Paper: mobile ≥55% of JSON requests, embedded 12%, unknown 24%
+(desktop is the ~9% remainder); 88% of JSON traffic is non-browser;
+mobile browser traffic is 2.5% of all requests; no browser traffic on
+embedded devices; UA-string mix is 73% mobile / 17% embedded /
+3% desktop / 7% unknown.
+"""
+
+from repro.analysis.characterize import characterize
+from repro.synth.calibration import PAPER
+
+from .conftest import print_comparison
+
+_REPORT = {}
+
+
+def _characterized(json_logs):
+    if "source" not in _REPORT:
+        source, request_type = characterize(json_logs, json_only=False)
+        _REPORT["source"] = source
+        _REPORT["request_type"] = request_type
+    return _REPORT["source"], _REPORT["request_type"]
+
+
+def test_fig3_device_mix(short_bench_json, benchmark):
+    source, _ = benchmark.pedantic(
+        lambda: _characterized(short_bench_json), rounds=1, iterations=1
+    )
+    shares = source.device_shares()
+    print_comparison(
+        "Figure 3 — JSON requests by device type",
+        [
+            (device, PAPER.device_mix[device], shares[device])
+            for device in ("mobile", "embedded", "desktop", "unknown")
+        ],
+    )
+    for device, expected in PAPER.device_mix.items():
+        assert abs(shares[device] - expected) < 0.05, device
+
+
+def test_fig3_browser_split(short_bench_json, benchmark):
+    source, _ = benchmark.pedantic(
+        lambda: _characterized(short_bench_json), rounds=1, iterations=1
+    )
+    print_comparison(
+        "§4 — browser vs non-browser",
+        [
+            ("non-browser fraction", PAPER.non_browser_fraction,
+             source.non_browser_fraction),
+            ("mobile browser fraction", PAPER.mobile_browser_fraction,
+             source.mobile_browser_fraction),
+            ("embedded browser fraction", 0.0, source.embedded_browser_fraction),
+            ("mobile app fraction (>=)", PAPER.mobile_app_fraction_min,
+             source.mobile_app_fraction),
+        ],
+    )
+    assert abs(source.non_browser_fraction - PAPER.non_browser_fraction) < 0.04
+    assert abs(source.mobile_browser_fraction - PAPER.mobile_browser_fraction) < 0.02
+    # "No browser traffic is detected on embedded devices."
+    assert source.embedded_browser_fraction == 0.0
+    # "At least 52% of JSON traffic is from native mobile applications."
+    assert source.mobile_app_fraction >= PAPER.mobile_app_fraction_min - 0.03
+
+
+def test_fig3_ua_string_mix(short_bench_json, benchmark):
+    source, _ = benchmark.pedantic(
+        lambda: _characterized(short_bench_json), rounds=1, iterations=1
+    )
+    mix = source.ua_string_shares()
+    print_comparison(
+        "§4 — unique UA-string mix",
+        [
+            (device, PAPER.ua_string_mix[device], mix.get(device, 0.0))
+            for device in ("mobile", "embedded", "desktop", "unknown")
+        ],
+    )
+    # Shape: mobile strings dominate, desktop strings are rare.
+    assert mix["mobile"] > 0.5
+    assert mix["mobile"] > mix.get("embedded", 0) > mix.get("desktop", 0)

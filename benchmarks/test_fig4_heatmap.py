@@ -1,0 +1,70 @@
+"""Figure 4 — heatmap of domain cacheability by industry category.
+
+Paper: nearly 50% of domains serve never-cacheable content and ~30%
+serve always-cacheable content; Financial Services, Streaming, and
+Gaming are dominated by uncacheable domains while News/Media, Sports,
+and Entertainment are mostly cacheable.
+"""
+
+from repro.analysis.cacheability import analyze_cacheability
+from repro.core.report import render_heatmap
+from repro.synth.calibration import PAPER
+
+from .conftest import print_comparison
+
+_CACHE = {}
+
+
+def _heatmap(dataset, json_logs):
+    if "heatmap" not in _CACHE:
+        categories = {d.name: d.category.value for d in dataset.domains}
+        _, heatmap = analyze_cacheability(json_logs, categories, json_only=False)
+        _CACHE["heatmap"] = heatmap
+    return _CACHE["heatmap"]
+
+
+def test_fig4_domain_marginals(short_bench_dataset, short_bench_json, benchmark):
+    heatmap = benchmark.pedantic(
+        lambda: _heatmap(short_bench_dataset, short_bench_json),
+        rounds=1, iterations=1,
+    )
+    shares = heatmap.bucket_shares()
+    print_comparison(
+        "Figure 4 — domain cacheability marginals",
+        [
+            ("never-cacheable domains", PAPER.domains_never_cacheable,
+             shares["never"]),
+            ("always-cacheable domains", PAPER.domains_always_cacheable,
+             shares["always"]),
+        ],
+    )
+    assert abs(shares["never"] - PAPER.domains_never_cacheable) < 0.08
+    assert abs(shares["always"] - PAPER.domains_always_cacheable) < 0.08
+
+
+def test_fig4_industry_story(short_bench_dataset, short_bench_json, benchmark):
+    heatmap = benchmark.pedantic(
+        lambda: _heatmap(short_bench_dataset, short_bench_json),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(
+        render_heatmap(
+            heatmap.rows(),
+            columns=("never", "low", "mid", "high", "always"),
+            title="Figure 4 — domain cacheability by category",
+        )
+    )
+    dynamic = ("Financial Services", "Streaming", "Gaming")
+    static = ("News/Media", "Sports", "Entertainment")
+    dynamic_share = [heatmap.category_cacheable_share(c) for c in dynamic]
+    static_share = [heatmap.category_cacheable_share(c) for c in static]
+    print_comparison(
+        "Figure 4 — per-industry cacheable share",
+        [(c, "low", s) for c, s in zip(dynamic, dynamic_share)]
+        + [(c, "high", s) for c, s in zip(static, static_share)],
+    )
+    # Every dynamic industry is less cacheable than every static one.
+    assert max(dynamic_share) < min(static_share)
+    assert all(share < 0.35 for share in dynamic_share)
+    assert all(share > 0.55 for share in static_share)

@@ -1,0 +1,57 @@
+"""Figure 6 — CDF of the percent of periodic clients across objects.
+
+Paper: for 20% of periodically-requested objects, more than half the
+clients requesting them do so with matching time signals — the
+machine-to-machine fingerprint.
+"""
+
+from repro.core.report import render_bar_chart
+from repro.synth.calibration import PAPER
+
+from .conftest import print_comparison
+from .test_fig5_periods import periodicity_report
+
+
+def test_fig6_majority_periodic_objects(long_bench_json, benchmark):
+    report = benchmark.pedantic(
+        lambda: periodicity_report(long_bench_json), rounds=1, iterations=1
+    )
+    majority = report.majority_periodic_fraction()
+    print_comparison(
+        "Figure 6 — objects with >50% periodic clients",
+        [("fraction of periodic objects",
+          PAPER.objects_with_majority_periodic_clients, majority)],
+    )
+    assert abs(majority - PAPER.objects_with_majority_periodic_clients) < 0.15
+
+
+def test_fig6_share_cdf_shape(long_bench_json, benchmark):
+    report = benchmark.pedantic(
+        lambda: periodicity_report(long_bench_json), rounds=1, iterations=1
+    )
+    cdf = report.share_cdf()
+    assert cdf, "no periodic objects for the CDF"
+
+    # Print a decile view of the CDF.
+    deciles = []
+    for target in (0.1, 0.25, 0.5, 0.75, 0.9):
+        value = next(
+            (share for share, fraction in cdf if fraction >= target), cdf[-1][0]
+        )
+        deciles.append((f"p{int(target * 100)}", value))
+    print()
+    print(
+        render_bar_chart(
+            deciles,
+            title="Figure 6 — periodic-client share CDF (quantiles)",
+            value_format="{:.2f}",
+        )
+    )
+
+    shares = [share for share, _ in cdf]
+    # Shape: the distribution is spread out, not degenerate — some
+    # objects are barely periodic, a tail is firmware-dominated.
+    assert min(shares) < 0.4
+    assert max(shares) > 0.5
+    fractions = [fraction for _, fraction in cdf]
+    assert fractions == sorted(fractions)

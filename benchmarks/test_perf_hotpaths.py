@@ -1,0 +1,132 @@
+"""Performance microbenchmarks of the pipeline's hot paths.
+
+These are real pytest-benchmark measurements (many rounds), not
+paper artifacts: they document the throughput a downstream user can
+expect from each stage when processing dataset-scale log volumes.
+Assertions are generous floors, guarding against order-of-magnitude
+regressions rather than machine variance.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cdn.cache import LruTtlCache
+from repro.ngram.clustering import UrlClusterer, cluster_url
+from repro.ngram.model import BackoffNgramModel
+from repro.periodicity.autocorr import autocorrelation, bin_series
+from repro.periodicity.detector import DetectorConfig, PeriodDetector
+from repro.useragent.classify import UserAgentClassifier
+from repro.useragent.strings import UA_FACTORIES
+
+
+@pytest.fixture(scope="module")
+def ua_sample():
+    rng = random.Random(1)
+    sample = []
+    for name, factory in UA_FACTORIES.items():
+        sample.extend(factory(rng) for _ in range(40))
+    return sample
+
+
+def test_perf_ua_classification_cold(ua_sample, benchmark):
+    """Classifier throughput on all-distinct UA strings."""
+
+    def classify_all():
+        classifier = UserAgentClassifier(memo_size=1)  # defeat the memo
+        for ua in ua_sample:
+            classifier.classify(ua)
+
+    benchmark(classify_all)
+    # ~240 strings; > 2k strings/s even without memoization.
+    assert benchmark.stats["mean"] < len(ua_sample) / 2_000
+
+
+def test_perf_ua_classification_memoized(ua_sample, benchmark):
+    """Classifier throughput with the memo warm (the real-log case)."""
+    classifier = UserAgentClassifier()
+    for ua in ua_sample:
+        classifier.classify(ua)
+
+    def classify_all():
+        for ua in ua_sample:
+            classifier.classify(ua)
+
+    benchmark(classify_all)
+    assert benchmark.stats["mean"] < len(ua_sample) / 100_000
+
+
+def test_perf_url_clustering(benchmark):
+    urls = [f"/api/v2/item/{i}?page={i % 7}&q=tre{i}" for i in range(500)]
+
+    def cluster_all():
+        for url in urls:
+            cluster_url(url)
+
+    benchmark(cluster_all)
+    assert benchmark.stats["mean"] < 0.1  # >5k URLs/s
+
+
+def test_perf_url_clustering_memoized(benchmark):
+    urls = [f"/api/v2/item/{i % 50}" for i in range(2_000)]
+    clusterer = UrlClusterer()
+
+    def cluster_all():
+        for url in urls:
+            clusterer(url)
+
+    benchmark(cluster_all)
+    assert benchmark.stats["mean"] < 0.05
+
+
+def test_perf_ngram_predict(benchmark):
+    rng = random.Random(2)
+    vocabulary = [f"/obj/{i}" for i in range(200)]
+    model = BackoffNgramModel(order=1)
+    model.fit(
+        [rng.choices(vocabulary, k=20) for _ in range(500)]
+    )
+    histories = [rng.choices(vocabulary, k=1) for _ in range(200)]
+
+    def predict_all():
+        for history in histories:
+            model.predict(history, k=10)
+
+    benchmark(predict_all)
+    assert benchmark.stats["mean"] < 0.2  # >1k predictions/s
+
+
+def test_perf_cache_operations(benchmark):
+    rng = random.Random(3)
+    keys = [f"obj-{i}" for i in range(2_000)]
+
+    def churn():
+        cache = LruTtlCache(capacity_bytes=512_000)
+        now = 0.0
+        for i in range(10_000):
+            key = keys[rng.randrange(len(keys))]
+            if cache.get(key, now) is None:
+                cache.put(key, 500, now, ttl=120.0)
+            now += 0.5
+
+    benchmark(churn)
+    assert benchmark.stats["mean"] < 0.5  # >20k ops/s
+
+
+def test_perf_acf_day_scale_series(benchmark):
+    rng = np.random.default_rng(4)
+    series = bin_series(np.sort(rng.uniform(0, 86_400, 5_000)), 10.0)
+
+    benchmark(lambda: autocorrelation(series))
+    assert benchmark.stats["mean"] < 0.05
+
+
+def test_perf_detector_single_flow(benchmark):
+    rng = np.random.default_rng(5)
+    flow = np.sort(np.arange(60) * 60.0 + rng.normal(0, 0.3, 60))
+    detector = PeriodDetector(DetectorConfig(permutations=100))
+
+    benchmark(lambda: detector.detect(flow))
+    # One x=100 permutation-thresholded detection in well under a second.
+    assert benchmark.stats["mean"] < 1.0

@@ -1,0 +1,28 @@
+"""§4 request type — uploads vs downloads.
+
+Paper: 84% of JSON requests are GETs; of the non-GET remainder, 96%
+are POSTs.
+"""
+
+from repro.analysis.characterize import characterize
+from repro.synth.calibration import PAPER
+
+from .conftest import print_comparison
+
+
+def test_sec4_request_type_mix(short_bench_json, benchmark):
+    _, request_type = benchmark.pedantic(
+        lambda: characterize(short_bench_json, json_only=False),
+        rounds=1,
+        iterations=1,
+    )
+    print_comparison(
+        "§4 — request types",
+        [
+            ("GET fraction", PAPER.get_fraction, request_type.get_fraction),
+            ("POST share of non-GET", PAPER.post_share_of_non_get,
+             request_type.post_share_of_non_get),
+        ],
+    )
+    assert abs(request_type.get_fraction - PAPER.get_fraction) < 0.05
+    assert request_type.post_share_of_non_get > 0.90

@@ -1,0 +1,109 @@
+"""§4 response type — cacheability and sizes.
+
+Paper: ~55% of JSON traffic is uncacheable; JSON objects are 24% and
+87% smaller than HTML at the median and 75th percentile; the mean
+JSON response size decreased ~28% between 2016 and 2019.
+"""
+
+import numpy as np
+
+from repro.analysis.cacheability import analyze_cacheability
+from repro.analysis.sizes import compare_sizes
+from repro.synth.calibration import PAPER
+from repro.synth.domains import DomainPopulation
+from repro.synth.rng import substream
+from repro.synth.sizes import SizeModel
+
+from .conftest import BENCH_SEED, print_comparison
+
+
+def test_sec4_uncacheable_fraction(short_bench_json, benchmark):
+    stats, _ = benchmark.pedantic(
+        lambda: analyze_cacheability(short_bench_json, json_only=False),
+        rounds=1,
+        iterations=1,
+    )
+    print_comparison(
+        "§4 — cacheability",
+        [
+            ("uncacheable JSON fraction", PAPER.uncacheable_fraction,
+             stats.uncacheable_fraction),
+            ("origin-bound fraction", 0.6, stats.origin_fraction),
+        ],
+    )
+    assert abs(stats.uncacheable_fraction - PAPER.uncacheable_fraction) < 0.08
+    # Uncacheable + missed traffic tunnels to origins: more than half.
+    assert stats.origin_fraction > 0.5
+
+
+def test_sec4_json_vs_html_sizes(short_bench_dataset, benchmark):
+    comparison = benchmark.pedantic(
+        lambda: compare_sizes(short_bench_dataset.logs), rounds=1, iterations=1
+    )
+    print_comparison(
+        "§4 — JSON vs HTML sizes (smaller by)",
+        [
+            ("at p50", PAPER.json_vs_html_p50_smaller, comparison.smaller_at_p50),
+            ("at p75", PAPER.json_vs_html_p75_smaller, comparison.smaller_at_p75),
+        ],
+    )
+    # Shape: modestly smaller at the median, drastically at p75.
+    assert 0.05 < comparison.smaller_at_p50 < 0.45
+    assert abs(comparison.smaller_at_p75 - PAPER.json_vs_html_p75_smaller) < 0.10
+    assert comparison.smaller_at_p75 > comparison.smaller_at_p50 + 0.3
+
+
+def test_sec4_json_size_decrease_since_2016(benchmark):
+    """Mean JSON size in a 2016-epoch dataset vs the 2019 epoch."""
+    domains = DomainPopulation(num_domains=50, seed=BENCH_SEED)
+
+    def mean_size(year):
+        model = SizeModel(substream(BENCH_SEED, "bench-sizes"), year=year)
+        sizes = [
+            model.sample(endpoint)
+            for domain in domains
+            for endpoint in domain.json_endpoints
+            for _ in range(10)
+        ]
+        return float(np.mean(sizes))
+
+    def decrease():
+        return 1.0 - mean_size(2019.0) / mean_size(2016.0)
+
+    measured = benchmark.pedantic(decrease, rounds=1, iterations=1)
+    print_comparison(
+        "§4 — JSON mean size decrease 2016→2019",
+        [("relative decrease", PAPER.json_size_decrease_since_2016, measured)],
+    )
+    assert abs(measured - PAPER.json_size_decrease_since_2016) < 0.08
+
+
+def test_sec4_cpu_cost_per_byte(short_bench_dataset, benchmark):
+    """§4's provisioning claim: smaller JSON responses mean more CPU
+    per delivered byte than HTML, and the 2016→2019 JSON shrink makes
+    it worse."""
+    from repro.analysis.cost import CostModel, serving_costs
+
+    costs = benchmark.pedantic(
+        lambda: serving_costs(short_bench_dataset.logs), rounds=1, iterations=1
+    )
+    json_cost = costs["application/json"]
+    html_cost = costs["text/html"]
+    ratio = json_cost.cost_per_byte / html_cost.cost_per_byte
+
+    # The 2016→2019 28% shrink alone raises JSON's cost per byte:
+    model = CostModel()
+    shrink_effect = model.cost_per_byte(
+        json_cost.mean_bytes
+    ) / model.cost_per_byte(json_cost.mean_bytes / 0.72)
+    print_comparison(
+        "§4 — CPU cost per byte",
+        [
+            ("JSON mean bytes", "-", json_cost.mean_bytes),
+            ("HTML mean bytes", "-", html_cost.mean_bytes),
+            ("JSON/HTML cost-per-byte ratio", ">1", ratio),
+            ("cost/byte increase from 28% shrink", ">1", shrink_effect),
+        ],
+    )
+    assert ratio > 1.5
+    assert shrink_effect > 1.05

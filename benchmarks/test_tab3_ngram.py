@@ -1,0 +1,138 @@
+"""Table 3 — ngram top-K prediction accuracy.
+
+Paper (N=1): clustered URLs .65 / .84 / .87 and actual URLs
+.45 / .64 / .69 for K = 1 / 5 / 10.  About 70% accuracy on actual
+URLs at K=10 motivates CDN prefetching; ~87% on clustered URLs shows
+clients share general ordering patterns.
+"""
+
+from repro.core.report import render_table
+from repro.ngram.evaluate import run_table3
+from repro.synth.calibration import PAPER
+
+from .conftest import print_comparison
+
+_CACHE = {}
+
+
+def table3_results(json_logs):
+    if "results" not in _CACHE:
+        _CACHE["results"] = run_table3(json_logs, ns=(1,), ks=(1, 5, 10))
+    return _CACHE["results"]
+
+
+def test_tab3_accuracy_table(long_bench_json, benchmark):
+    results = benchmark.pedantic(
+        lambda: table3_results(long_bench_json), rounds=1, iterations=1
+    )
+    rows = []
+    for k in (1, 5, 10):
+        clustered_paper, actual_paper = PAPER.ngram_accuracy[k]
+        rows.append(
+            [
+                k,
+                f"{results[(1, k, True)].accuracy:.2f} (paper {clustered_paper})",
+                f"{results[(1, k, False)].accuracy:.2f} (paper {actual_paper})",
+            ]
+        )
+    print()
+    print(render_table(["K", "clustered", "actual"], rows,
+                       title="Table 3 — ngram accuracy, N=1"))
+
+    for k in (1, 5, 10):
+        clustered_paper, actual_paper = PAPER.ngram_accuracy[k]
+        assert abs(results[(1, k, True)].accuracy - clustered_paper) < 0.10, k
+        assert abs(results[(1, k, False)].accuracy - actual_paper) < 0.10, k
+
+
+def test_tab3_ordering_properties(long_bench_json, benchmark):
+    results = benchmark.pedantic(
+        lambda: table3_results(long_bench_json), rounds=1, iterations=1
+    )
+    # Clustered beats actual at every K (shared ordering patterns).
+    for k in (1, 5, 10):
+        assert results[(1, k, True)].accuracy > results[(1, k, False)].accuracy
+    # Accuracy grows with K, with diminishing returns after K=5.
+    for clustered in (True, False):
+        a1 = results[(1, 1, clustered)].accuracy
+        a5 = results[(1, 5, clustered)].accuracy
+        a10 = results[(1, 10, clustered)].accuracy
+        assert a1 < a5 <= a10
+        assert (a5 - a1) > (a10 - a5)
+
+
+def test_tab3_baseline_comparison(long_bench_json, benchmark):
+    """The ngram's lift over history-blind and recency baselines.
+
+    §5.2 argues the ngram approach "takes into account the popularity
+    of highly requested items"; this shows transition structure adds
+    a large margin beyond popularity alone.
+    """
+    from repro.ngram.baseline import (
+        PerClientRecencyPredictor,
+        PopularityPredictor,
+    )
+    from repro.ngram.evaluate import (
+        build_client_sequences,
+        evaluate_topk,
+        split_clients,
+    )
+    from repro.ngram.model import BackoffNgramModel
+
+    def run_all():
+        sequences = build_client_sequences(long_bench_json)
+        train_ids, test_ids = split_clients(sequences, seed=0)
+        train = [sequences[cid] for cid in train_ids]
+        test = [sequences[cid] for cid in test_ids]
+        models = {
+            "ngram": BackoffNgramModel(order=1).fit(train),
+            "popularity": PopularityPredictor().fit(train),
+            "recency": PerClientRecencyPredictor(),
+        }
+        return {
+            name: evaluate_topk(model, test, n=1, ks=[1, 10])
+            for name, model in models.items()
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name, accuracies in results.items():
+        for result in accuracies:
+            rows.append((f"{name} @ K={result.k}", "-", result.accuracy))
+    print_comparison("Table 3 — ngram vs baselines (actual URLs)", rows)
+
+    for k_index in (0, 1):
+        ngram = results["ngram"][k_index].accuracy
+        assert ngram > results["popularity"][k_index].accuracy + 0.08
+        assert ngram > results["recency"][k_index].accuracy
+
+
+def test_tab3_clustering_granularity_variant(long_bench_json, benchmark):
+    """Design-choice check: clustering must coarsen, not obliterate.
+
+    A degenerate 'cluster everything to one token' model would score
+    ~100% trivially; verify our clustered vocabulary keeps structure
+    (many distinct tokens, accuracy below a perfect score).
+    """
+    from repro.ngram.evaluate import build_client_sequences
+
+    def vocab_sizes():
+        raw = build_client_sequences(long_bench_json, clustered=False)
+        clustered = build_client_sequences(long_bench_json, clustered=True)
+        raw_vocab = {token for flow in raw.values() for token in flow}
+        clustered_vocab = {
+            token for flow in clustered.values() for token in flow
+        }
+        return len(raw_vocab), len(clustered_vocab)
+
+    raw_size, clustered_size = benchmark.pedantic(
+        vocab_sizes, rounds=1, iterations=1
+    )
+    print_comparison(
+        "Table 3 — vocabulary compression",
+        [("raw vocab", "-", raw_size), ("clustered vocab", "-", clustered_size)],
+    )
+    assert clustered_size < raw_size
+    assert clustered_size > 50  # structure survives clustering
+    results = table3_results(long_bench_json)
+    assert results[(1, 10, True)].accuracy < 0.98

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Edge prefetching driven by the ngram predictor (§5.2 end-to-end).
+
+Replays a day of app traffic through a simulated CDN edge twice —
+once plain, once with an ngram prefetcher trained on a disjoint set
+of clients — and compares cache hit ratio, origin load, and the
+latency a client actually experiences.
+
+Run:
+    python examples/prefetch_cdn.py
+"""
+
+from repro.cdn import (
+    DeliveryMetrics,
+    EdgeServer,
+    LatencyModel,
+    LruTtlCache,
+    NgramPrefetcher,
+    OriginFleet,
+    build_object_index,
+)
+from repro.ngram import BackoffNgramModel, build_client_sequences, split_clients
+from repro.synth import WorkloadBuilder, long_term_config, substream
+from repro.synth.sizes import SizeModel
+
+
+def make_edge(seed: int) -> EdgeServer:
+    return EdgeServer(
+        edge_id="edge-demo",
+        cache=LruTtlCache(capacity_bytes=1 << 30),
+        origins=OriginFleet(),
+        latency_model=LatencyModel(substream(seed, "demo", "latency")),
+        size_model=SizeModel(substream(seed, "demo", "sizes")),
+        rng=substream(seed, "demo", "edge"),
+    )
+
+
+def replay(events, edge, prefetcher=None) -> DeliveryMetrics:
+    metrics = DeliveryMetrics()
+    for event in events:
+        metrics.record(edge.serve(event))
+        if prefetcher is not None:
+            prefetcher.on_request(edge, event)
+    return metrics
+
+
+def main() -> None:
+    print("Building a 24h workload (40k JSON requests, 80 domains) ...")
+    builder = WorkloadBuilder(
+        long_term_config(40_000, seed=99, num_domains=80)
+    )
+    events, _ = builder.build_events()
+
+    print("Training the predictor on half the clients ...")
+    logs = [served.log for served in builder.replay(events)]
+    sequences = build_client_sequences(logs)
+    train_ids, _ = split_clients(sequences, test_fraction=0.5, seed=0)
+    model = BackoffNgramModel(order=1)
+    model.fit(sequences[cid] for cid in train_ids)
+
+    index = build_object_index(list(builder.domains))
+
+    print("Replaying without prefetching ...")
+    baseline_edge = make_edge(99)
+    baseline = replay(events, baseline_edge)
+
+    print("Replaying with top-3 ngram prefetching ...\n")
+    boosted_edge = make_edge(99)
+    prefetcher = NgramPrefetcher(model, index, k=3, history_length=1)
+    boosted = replay(events, boosted_edge, prefetcher)
+
+    rows = [
+        ("cache hit ratio (cacheable traffic)",
+         f"{baseline.hit_ratio:.3f}", f"{boosted.hit_ratio:.3f}"),
+        ("mean client latency (ms)",
+         f"{baseline.mean_latency_s * 1e3:.1f}",
+         f"{boosted.mean_latency_s * 1e3:.1f}"),
+        ("p95 client latency (ms)",
+         f"{baseline.latency_percentile_s(95) * 1e3:.1f}",
+         f"{boosted.latency_percentile_s(95) * 1e3:.1f}"),
+        ("origin fetches",
+         f"{baseline_edge.origins.total_requests:,}",
+         f"{boosted_edge.origins.total_requests:,}"),
+    ]
+    print(f"{'metric':38s} {'baseline':>10s} {'prefetch':>10s}")
+    for metric, before, after in rows:
+        print(f"{metric:38s} {before:>10s} {after:>10s}")
+
+    stats = prefetcher.stats
+    print(f"\nprefetcher: {stats.issued:,} fetched / "
+          f"{stats.predictions:,} predictions "
+          f"({stats.skipped_fresh:,} already fresh, "
+          f"{stats.skipped_uncacheable:,} uncacheable, "
+          f"{stats.skipped_unresolvable:,} unresolvable)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on environments
+without the `wheel` package (PEP 660 editable wheels need it)."""
+from setuptools import setup
+
+setup()

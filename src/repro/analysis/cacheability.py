@@ -1,0 +1,198 @@
+"""§4 cacheability analysis and the Figure 4 heatmap.
+
+Two granularities, matching the paper:
+
+* **request level** — the share of JSON responses marked no-store
+  (~55%), plus hit/miss shares of the cacheable remainder;
+* **domain level** — each domain's cacheable-traffic share, bucketed
+  into a histogram per industry category.  Figure 4 is the resulting
+  category × cacheability-bucket heatmap, and its marginals give the
+  "~50% of domains never cache / ~30% always cache" statement.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..logs.record import CacheStatus, RequestLog
+
+__all__ = [
+    "CacheabilityStats",
+    "DomainCacheability",
+    "CacheabilityHeatmap",
+    "analyze_cacheability",
+]
+
+
+@dataclass
+class CacheabilityStats:
+    """Request-level cache disposition shares."""
+
+    total: int = 0
+    hits: int = 0
+    misses: int = 0
+    no_store: int = 0
+
+    def add(self, record: RequestLog) -> None:
+        self.total += 1
+        if record.cache_status is CacheStatus.HIT:
+            self.hits += 1
+        elif record.cache_status is CacheStatus.MISS:
+            self.misses += 1
+        else:
+            self.no_store += 1
+
+    @property
+    def uncacheable_fraction(self) -> float:
+        """§4: nearly 55% of all JSON traffic is not cacheable."""
+        return self.no_store / self.total if self.total else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        cacheable = self.hits + self.misses
+        return self.hits / cacheable if cacheable else 0.0
+
+    @property
+    def origin_fraction(self) -> float:
+        """Traffic the CDN had to forward to customer origins."""
+        if not self.total:
+            return 0.0
+        return (self.misses + self.no_store) / self.total
+
+
+@dataclass
+class DomainCacheability:
+    """Per-domain cacheable-traffic share."""
+
+    domain: str
+    category: Optional[str] = None
+    cacheable_requests: int = 0
+    total_requests: int = 0
+
+    @property
+    def cacheable_share(self) -> float:
+        if not self.total_requests:
+            return 0.0
+        return self.cacheable_requests / self.total_requests
+
+
+#: Cacheability buckets used for the heatmap columns, as half-open
+#: intervals [low, high); the outer buckets are the exact "never" and
+#: "always" classes.
+HEATMAP_BUCKETS: Sequence[Tuple[str, float, float]] = (
+    ("never", -1.0, 1e-9),
+    ("low", 1e-9, 0.35),
+    ("mid", 0.35, 0.65),
+    ("high", 0.65, 1.0 - 1e-9),
+    ("always", 1.0 - 1e-9, 2.0),
+)
+
+
+@dataclass
+class CacheabilityHeatmap:
+    """Figure 4: domains bucketed by category × cacheability."""
+
+    #: category → bucket name → domain count.
+    cells: Dict[str, Counter] = field(default_factory=dict)
+    domains: Dict[str, DomainCacheability] = field(default_factory=dict)
+
+    def add_domain(self, stats: DomainCacheability) -> None:
+        self.domains[stats.domain] = stats
+        category = stats.category or "Unknown"
+        bucket = self.bucket_for(stats.cacheable_share)
+        self.cells.setdefault(category, Counter())[bucket] += 1
+
+    @staticmethod
+    def bucket_for(share: float) -> str:
+        for name, low, high in HEATMAP_BUCKETS:
+            if low <= share < high:
+                return name
+        return "always"
+
+    # -- marginals ------------------------------------------------------------
+
+    @property
+    def domain_count(self) -> int:
+        return len(self.domains)
+
+    def bucket_shares(self) -> Dict[str, float]:
+        """Marginal share of domains per bucket (the 50/30 statement)."""
+        total = self.domain_count
+        if not total:
+            return {}
+        counts: Counter = Counter()
+        for buckets in self.cells.values():
+            counts.update(buckets)
+        return {name: counts.get(name, 0) / total for name, _, _ in HEATMAP_BUCKETS}
+
+    def never_cacheable_share(self) -> float:
+        return self.bucket_shares().get("never", 0.0)
+
+    def always_cacheable_share(self) -> float:
+        return self.bucket_shares().get("always", 0.0)
+
+    def rows(self) -> List[Tuple[str, Dict[str, float]]]:
+        """Per-category normalized bucket shares (heatmap rows)."""
+        out: List[Tuple[str, Dict[str, float]]] = []
+        for category in sorted(self.cells):
+            buckets = self.cells[category]
+            total = sum(buckets.values())
+            out.append(
+                (
+                    category,
+                    {
+                        name: buckets.get(name, 0) / total
+                        for name, _, _ in HEATMAP_BUCKETS
+                    },
+                )
+            )
+        return out
+
+    def category_cacheable_share(self, category: str) -> float:
+        """Mean cacheable-traffic share of a category's domains."""
+        members = [
+            stats
+            for stats in self.domains.values()
+            if (stats.category or "Unknown") == category
+        ]
+        if not members:
+            return 0.0
+        return sum(stats.cacheable_share for stats in members) / len(members)
+
+
+def analyze_cacheability(
+    logs: Iterable[RequestLog],
+    domain_categories: Optional[Mapping[str, str]] = None,
+    json_only: bool = True,
+) -> Tuple[CacheabilityStats, CacheabilityHeatmap]:
+    """Request- and domain-level cacheability in one pass.
+
+    ``domain_categories`` maps domain name → industry category (the
+    paper uses a commercial categorization service; the synthetic
+    population carries its own assignment).
+    """
+    stats = CacheabilityStats()
+    per_domain: Dict[str, DomainCacheability] = {}
+    for record in logs:
+        if json_only and not record.is_json:
+            continue
+        stats.add(record)
+        domain = per_domain.get(record.domain)
+        if domain is None:
+            category = (
+                domain_categories.get(record.domain)
+                if domain_categories
+                else None
+            )
+            domain = DomainCacheability(record.domain, category)
+            per_domain[record.domain] = domain
+        domain.total_requests += 1
+        if record.cacheable:
+            domain.cacheable_requests += 1
+
+    heatmap = CacheabilityHeatmap()
+    for domain in per_domain.values():
+        heatmap.add_domain(domain)
+    return stats, heatmap

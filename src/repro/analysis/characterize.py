@@ -1,0 +1,155 @@
+"""§4 characterization: traffic source and request type.
+
+Produces the Figure 3 breakdown (JSON requests by device type), the
+browser/non-browser split, the unique user-agent-string mix, and the
+GET/POST request-type shares — all in one streaming pass.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..core.taxonomy import AppClass, DeviceType
+from ..logs.record import HttpMethod, RequestLog
+from ..useragent.classify import UserAgentClassifier
+
+__all__ = ["TrafficSourceBreakdown", "RequestTypeBreakdown", "characterize"]
+
+
+@dataclass
+class TrafficSourceBreakdown:
+    """Figure 3 and the §4 traffic-source statistics."""
+
+    total_requests: int = 0
+    device_counts: Counter = field(default_factory=Counter)
+    app_counts: Counter = field(default_factory=Counter)
+    #: Browser requests per device type (for the mobile-browser stat).
+    browser_by_device: Counter = field(default_factory=Counter)
+    #: Distinct user-agent strings per device type.
+    ua_strings_by_device: Dict[str, set] = field(default_factory=dict)
+
+    def device_shares(self) -> Dict[str, float]:
+        """Request share per device type (the Figure 3 pie)."""
+        if not self.total_requests:
+            return {}
+        return {
+            device.value: self.device_counts.get(device.value, 0)
+            / self.total_requests
+            for device in DeviceType
+        }
+
+    def ua_string_shares(self) -> Dict[str, float]:
+        """Unique UA-string share per device type (§4: 73/17/3/7)."""
+        total = sum(len(s) for s in self.ua_strings_by_device.values())
+        if not total:
+            return {}
+        return {
+            device: len(strings) / total
+            for device, strings in self.ua_strings_by_device.items()
+        }
+
+    @property
+    def browser_fraction(self) -> float:
+        if not self.total_requests:
+            return 0.0
+        return self.app_counts.get(AppClass.BROWSER.value, 0) / self.total_requests
+
+    @property
+    def non_browser_fraction(self) -> float:
+        """§4: 88% of JSON traffic is non-browser."""
+        return 1.0 - self.browser_fraction if self.total_requests else 0.0
+
+    @property
+    def mobile_browser_fraction(self) -> float:
+        """§4: mobile browser traffic is 2.5% of all JSON requests."""
+        if not self.total_requests:
+            return 0.0
+        return (
+            self.browser_by_device.get(DeviceType.MOBILE.value, 0)
+            / self.total_requests
+        )
+
+    @property
+    def embedded_browser_fraction(self) -> float:
+        """§4: no browser traffic is detected on embedded devices."""
+        if not self.total_requests:
+            return 0.0
+        return (
+            self.browser_by_device.get(DeviceType.EMBEDDED.value, 0)
+            / self.total_requests
+        )
+
+    @property
+    def mobile_app_fraction(self) -> float:
+        """Native-app mobile share of all JSON requests (≥52%)."""
+        if not self.total_requests:
+            return 0.0
+        mobile = self.device_counts.get(DeviceType.MOBILE.value, 0)
+        mobile_browser = self.browser_by_device.get(DeviceType.MOBILE.value, 0)
+        return (mobile - mobile_browser) / self.total_requests
+
+
+@dataclass
+class RequestTypeBreakdown:
+    """§4 request-type statistics (uploads vs downloads)."""
+
+    total_requests: int = 0
+    method_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def get_fraction(self) -> float:
+        """§4: 84% of JSON requests are GETs."""
+        if not self.total_requests:
+            return 0.0
+        return self.method_counts.get(HttpMethod.GET.value, 0) / self.total_requests
+
+    @property
+    def post_share_of_non_get(self) -> float:
+        """§4: 96% of the non-GET remainder is POST."""
+        non_get = self.total_requests - self.method_counts.get(
+            HttpMethod.GET.value, 0
+        )
+        if not non_get:
+            return 0.0
+        return self.method_counts.get(HttpMethod.POST.value, 0) / non_get
+
+    @property
+    def upload_fraction(self) -> float:
+        uploads = sum(
+            count
+            for method, count in self.method_counts.items()
+            if HttpMethod(method).is_upload()
+        )
+        return uploads / self.total_requests if self.total_requests else 0.0
+
+
+def characterize(
+    logs: Iterable[RequestLog],
+    classifier: Optional[UserAgentClassifier] = None,
+    json_only: bool = True,
+) -> tuple:
+    """One-pass §4 characterization.
+
+    Returns ``(TrafficSourceBreakdown, RequestTypeBreakdown)``.
+    """
+    classifier = classifier or UserAgentClassifier()
+    source = TrafficSourceBreakdown()
+    request_type = RequestTypeBreakdown()
+    for record in logs:
+        if json_only and not record.is_json:
+            continue
+        traffic = classifier.classify(record.user_agent)
+        source.total_requests += 1
+        source.device_counts[traffic.device.value] += 1
+        source.app_counts[traffic.app.value] += 1
+        if traffic.app is AppClass.BROWSER:
+            source.browser_by_device[traffic.device.value] += 1
+        if record.user_agent:
+            source.ua_strings_by_device.setdefault(
+                traffic.device.value, set()
+            ).add(record.user_agent)
+        request_type.total_requests += 1
+        request_type.method_counts[record.method.value] += 1
+    return source, request_type

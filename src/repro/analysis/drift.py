@@ -1,0 +1,139 @@
+"""Traffic drift comparison between two log collections.
+
+"CDNs are a good vantage point to observe large scale Internet
+patterns, which are constantly changing" (§1) — the paper itself is
+a drift observation (JSON up 4x, JSON sizes down 28% since 2016).
+This module makes that comparison a first-class operation: measure
+the same metric vector on two datasets (two capture windows, two
+regions, two customer cohorts) and report per-metric deltas with a
+significance-style threshold on relative change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..logs.record import RequestLog
+from .characterize import characterize
+from .cacheability import analyze_cacheability
+
+__all__ = ["MetricDelta", "DriftReport", "traffic_metrics", "compare_traffic"]
+
+
+def traffic_metrics(logs: Sequence[RequestLog]) -> Dict[str, float]:
+    """The standard metric vector for drift comparison.
+
+    All metrics are shares/means over the collection's JSON traffic
+    (plus the JSON share of total), so collections of different sizes
+    compare cleanly.
+    """
+    total = len(logs)
+    json_logs = [record for record in logs if record.is_json]
+    if not json_logs:
+        return {"json_share": 0.0}
+    source, request_type = characterize(json_logs, json_only=False)
+    cache_stats, _ = analyze_cacheability(json_logs, json_only=False)
+    sizes = np.array([record.response_bytes for record in json_logs])
+    device = source.device_shares()
+    return {
+        "json_share": len(json_logs) / total if total else 0.0,
+        "mobile_share": device.get("mobile", 0.0),
+        "embedded_share": device.get("embedded", 0.0),
+        "unknown_share": device.get("unknown", 0.0),
+        "non_browser_share": source.non_browser_fraction,
+        "get_share": request_type.get_fraction,
+        "uncacheable_share": cache_stats.uncacheable_fraction,
+        "mean_json_bytes": float(sizes.mean()),
+        "p50_json_bytes": float(np.percentile(sizes, 50)),
+    }
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between two collections."""
+
+    name: str
+    before: float
+    after: float
+
+    @property
+    def absolute(self) -> float:
+        return self.after - self.before
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return self.absolute / self.before
+
+    def render(self) -> str:
+        arrow = "↑" if self.absolute > 0 else ("↓" if self.absolute < 0 else "=")
+        rel = (
+            f"{self.relative * 100:+.1f}%"
+            if self.relative != float("inf")
+            else "new"
+        )
+        return (
+            f"{self.name:22s} {self.before:12.3f} → {self.after:12.3f}  "
+            f"{arrow} {rel}"
+        )
+
+
+@dataclass
+class DriftReport:
+    """Metric deltas between a *before* and an *after* collection."""
+
+    deltas: List[MetricDelta]
+    #: Relative-change threshold for calling a metric "drifted".
+    threshold: float = 0.10
+
+    def drifted(self) -> List[MetricDelta]:
+        """Metrics whose relative change exceeds the threshold."""
+        return [
+            delta
+            for delta in self.deltas
+            if delta.relative == float("inf")
+            or abs(delta.relative) > self.threshold
+        ]
+
+    @property
+    def stable(self) -> bool:
+        return not self.drifted()
+
+    def get(self, name: str) -> Optional[MetricDelta]:
+        for delta in self.deltas:
+            if delta.name == name:
+                return delta
+        return None
+
+    def render(self) -> str:
+        lines = [delta.render() for delta in self.deltas]
+        moved = self.drifted()
+        lines.append(
+            f"{len(moved)}/{len(self.deltas)} metrics drifted more than "
+            f"{self.threshold * 100:.0f}%"
+        )
+        return "\n".join(lines)
+
+
+def compare_traffic(
+    before: Sequence[RequestLog],
+    after: Sequence[RequestLog],
+    threshold: float = 0.10,
+) -> DriftReport:
+    """Measure both collections and report per-metric drift."""
+    metrics_before = traffic_metrics(before)
+    metrics_after = traffic_metrics(after)
+    names = sorted(set(metrics_before) | set(metrics_after))
+    deltas = [
+        MetricDelta(
+            name,
+            metrics_before.get(name, 0.0),
+            metrics_after.get(name, 0.0),
+        )
+        for name in names
+    ]
+    return DriftReport(deltas=deltas, threshold=threshold)

@@ -1,0 +1,148 @@
+"""Object-popularity analysis and bounded-memory heavy hitters.
+
+§5.1 filters its flows down to "the top 25% of objects requested";
+more generally, every CDN question about "the popular objects"
+needs the request-count distribution over objects. Two tools here:
+
+* :class:`ObjectPopularity` — exact counting for dataset-scale
+  analysis: top-share curves, percentile filters, Zipf-ness checks;
+* :class:`HeavyHitters` — the Misra–Gries summary for production
+  edges, which finds every object above a frequency threshold in
+  O(k) memory regardless of stream length.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..logs.record import RequestLog
+
+__all__ = ["ObjectPopularity", "HeavyHitters", "rank_objects"]
+
+
+@dataclass
+class ObjectPopularity:
+    """Exact per-object request counts and derived statistics."""
+
+    counts: Counter = field(default_factory=Counter)
+    total: int = 0
+
+    def add(self, record: RequestLog) -> None:
+        self.counts[record.object_id] += 1
+        self.total += 1
+
+    def update(self, logs: Iterable[RequestLog]) -> "ObjectPopularity":
+        for record in logs:
+            self.add(record)
+        return self
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def object_count(self) -> int:
+        return len(self.counts)
+
+    def top_share(self, fraction: float) -> float:
+        """Traffic share of the most-popular ``fraction`` of objects.
+
+        ``top_share(0.25)`` answers "how much traffic do the top 25%
+        of objects carry" — on web workloads, most of it.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self.counts:
+            return 0.0
+        take = max(1, int(round(self.object_count * fraction)))
+        top = sum(count for _, count in self.counts.most_common(take))
+        return top / self.total
+
+    def top_objects(self, fraction: float) -> Set[str]:
+        """The object ids making up the top ``fraction`` (§5.1 filter)."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        take = max(1, int(round(self.object_count * fraction)))
+        return {object_id for object_id, _ in self.counts.most_common(take)}
+
+    def requests_of(self, object_id: str) -> int:
+        return self.counts.get(object_id, 0)
+
+    def concentration_curve(
+        self, points: Sequence[float] = (0.01, 0.05, 0.10, 0.25, 0.50)
+    ) -> List[Tuple[float, float]]:
+        """(object fraction, traffic share) pairs — the Lorenz view."""
+        return [(fraction, self.top_share(fraction)) for fraction in points]
+
+
+class HeavyHitters:
+    """Misra–Gries frequent-elements summary.
+
+    Finds every object whose true frequency exceeds ``1/(k+1)`` of
+    the stream using only ``k`` counters, with per-object count
+    underestimation bounded by ``stream_length / (k+1)``. This is
+    what an edge can afford to run inline; the exact counter above is
+    what the offline analysis runs.
+    """
+
+    def __init__(self, k: int = 100) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._counters: Dict[str, int] = {}
+        self.stream_length = 0
+
+    def offer(self, key: str) -> None:
+        """Observe one stream element."""
+        self.stream_length += 1
+        counters = self._counters
+        if key in counters:
+            counters[key] += 1
+        elif len(counters) < self.k:
+            counters[key] = 1
+        else:
+            # Decrement-all step; drop zeroed counters.
+            drained = []
+            for existing in counters:
+                counters[existing] -= 1
+                if counters[existing] == 0:
+                    drained.append(existing)
+            for existing in drained:
+                del counters[existing]
+
+    def offer_log(self, record: RequestLog) -> None:
+        self.offer(record.object_id)
+
+    @property
+    def error_bound(self) -> float:
+        """Maximum undercount of any reported estimate."""
+        return self.stream_length / (self.k + 1)
+
+    def candidates(self) -> Dict[str, int]:
+        """Surviving counters: estimated counts (may undercount)."""
+        return dict(self._counters)
+
+    def hitters(self, min_fraction: float) -> List[Tuple[str, int]]:
+        """Objects possibly exceeding ``min_fraction`` of the stream.
+
+        Guaranteed superset of the true heavy hitters above the
+        threshold (no false negatives) when
+        ``min_fraction > 1 / (k + 1)``.
+        """
+        if not 0 < min_fraction < 1:
+            raise ValueError("min_fraction must be in (0, 1)")
+        threshold = min_fraction * self.stream_length - self.error_bound
+        return sorted(
+            (
+                (key, count)
+                for key, count in self._counters.items()
+                if count >= max(threshold, 1)
+            ),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+
+
+def rank_objects(logs: Iterable[RequestLog]) -> ObjectPopularity:
+    """One-shot exact popularity over a log collection."""
+    return ObjectPopularity().update(logs)

@@ -1,0 +1,82 @@
+"""Figure 1 analysis: the JSON:HTML request-ratio trend.
+
+Operates on monthly content-type aggregates — either from the trend
+model (multi-year horizon) or computed from a log dataset (one
+capture's snapshot ratio).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..logs.record import RequestLog
+from ..synth.trend import MonthlyVolume
+
+__all__ = ["TrendAnalysis", "snapshot_ratio", "analyze_trend"]
+
+
+@dataclass(frozen=True)
+class TrendAnalysis:
+    """Derived statistics of a JSON:HTML ratio series."""
+
+    series: Tuple[Tuple[str, float], ...]
+
+    @property
+    def start_ratio(self) -> float:
+        return self.series[0][1]
+
+    @property
+    def end_ratio(self) -> float:
+        return self.series[-1][1]
+
+    @property
+    def growth_factor(self) -> float:
+        """How much the ratio multiplied over the window."""
+        if self.start_ratio == 0:
+            return float("inf")
+        return self.end_ratio / self.start_ratio
+
+    def crossover_month(self) -> str:
+        """First month where JSON requests exceed HTML requests."""
+        for label, ratio in self.series:
+            if ratio > 1.0:
+                return label
+        return "never"
+
+    def is_monotonic_trend(self, window: int = 6) -> bool:
+        """Whether the smoothed ratio is non-decreasing.
+
+        Month-to-month noise is expected; the *trend* (a trailing-
+        window moving average) should rise throughout the period.
+        """
+        values = [ratio for _, ratio in self.series]
+        smoothed = [
+            sum(values[max(0, i - window + 1) : i + 1])
+            / len(values[max(0, i - window + 1) : i + 1])
+            for i in range(len(values))
+        ]
+        return all(b >= a * 0.995 for a, b in zip(smoothed, smoothed[1:]))
+
+
+def analyze_trend(volumes: Sequence[MonthlyVolume]) -> TrendAnalysis:
+    """Figure 1 from monthly content-type volumes."""
+    if not volumes:
+        raise ValueError("no monthly volumes given")
+    series = tuple(
+        (volume.label, volume.ratio("application/json", "text/html"))
+        for volume in volumes
+    )
+    return TrendAnalysis(series=series)
+
+
+def snapshot_ratio(logs: Iterable[RequestLog]) -> float:
+    """JSON:HTML request ratio of one log dataset."""
+    counts: Counter = Counter()
+    for record in logs:
+        counts[record.content_type] += 1
+    html = counts.get("text/html", 0)
+    if html == 0:
+        return float("inf")
+    return counts.get("application/json", 0) / html

@@ -1,0 +1,183 @@
+"""Period-deviation anomaly detection.
+
+§5.1: "Periodic information can also be used for anomaly detection
+when an object is requested at a different period than it is intended
+to be requested."
+
+:class:`PeriodicAnomalyMonitor` learns each object's intended period
+from a baseline log window (via the §5.1 detector) and then watches
+live flows: a client whose observed polling interval deviates from
+the intended period — too fast (runaway or abusive client), too slow
+is usually benign — raises an alert.  Detection on the live side is
+interval-based rather than FFT-based so alerts fire after a handful
+of requests instead of after a full window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..logs.record import RequestLog
+from ..periodicity.detector import DetectedPeriod, PeriodDetector
+from ..periodicity.flows import FlowFilter, extract_flows
+
+__all__ = ["PeriodBaseline", "PeriodAlert", "PeriodicAnomalyMonitor"]
+
+
+@dataclass(frozen=True)
+class PeriodBaseline:
+    """An object's learned intended period."""
+
+    object_id: str
+    period_s: float
+    acf_value: float
+
+
+@dataclass(frozen=True)
+class PeriodAlert:
+    """One flagged client-object flow."""
+
+    object_id: str
+    client_id: str
+    observed_period_s: float
+    intended_period_s: float
+    #: observed / intended; < 1 means faster than intended.
+    speed_ratio: float
+    request_count: int
+
+    def describe(self) -> str:
+        direction = "faster" if self.speed_ratio < 1.0 else "slower"
+        return (
+            f"{self.client_id} polls {self.object_id} every "
+            f"{self.observed_period_s:.1f}s — {1 / self.speed_ratio:.1f}x "
+            f"{direction} than the intended {self.intended_period_s:.1f}s"
+        )
+
+
+class PeriodicAnomalyMonitor:
+    """Learns intended periods, then flags deviating live flows.
+
+    Parameters
+    ----------
+    tolerance:
+        Relative deviation of the observed interval from the intended
+        period before a flow is flagged (0.35 → anything outside
+        ±35%, excluding clean harmonics, alerts).
+    min_live_requests:
+        Requests needed in a live flow before judging it.
+    allow_harmonics:
+        Do not alert on flows polling at an integer multiple of the
+        intended period (a device on a battery-saver schedule).
+    """
+
+    def __init__(
+        self,
+        tolerance: float = 0.35,
+        min_live_requests: int = 6,
+        allow_harmonics: bool = True,
+    ) -> None:
+        if not 0 < tolerance < 1:
+            raise ValueError("tolerance must be in (0, 1)")
+        self.tolerance = tolerance
+        self.min_live_requests = min_live_requests
+        self.allow_harmonics = allow_harmonics
+        self.baselines: Dict[str, PeriodBaseline] = {}
+
+    # -- learning ------------------------------------------------------------
+
+    def learn(
+        self,
+        baseline_logs: Iterable[RequestLog],
+        detector: Optional[PeriodDetector] = None,
+        flow_filter: Optional[FlowFilter] = None,
+    ) -> Dict[str, PeriodBaseline]:
+        """Extract intended periods from a baseline window."""
+        detector = detector or PeriodDetector()
+        flows = extract_flows(baseline_logs, flow_filter)
+        for object_id, flow in flows.items():
+            found = detector.detect(flow.merged_timestamps())
+            if found is not None:
+                self.baselines[object_id] = PeriodBaseline(
+                    object_id=object_id,
+                    period_s=found.period_s,
+                    acf_value=found.acf_value,
+                )
+        return self.baselines
+
+    def set_baseline(self, object_id: str, period_s: float) -> None:
+        """Register a known intended period (e.g. from app config)."""
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.baselines[object_id] = PeriodBaseline(object_id, period_s, 1.0)
+
+    # -- live checking ------------------------------------------------------------
+
+    def check_flow(
+        self, object_id: str, client_id: str, timestamps: np.ndarray
+    ) -> Optional[PeriodAlert]:
+        """Judge one live client-object flow against its baseline.
+
+        The observed period is the median inter-arrival time — robust
+        against missed polls (which produce 2x-period gaps) as long
+        as most intervals are regular.
+        """
+        baseline = self.baselines.get(object_id)
+        if baseline is None:
+            return None
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if timestamps.size < self.min_live_requests:
+            return None
+        gaps = np.diff(np.sort(timestamps))
+        gaps = gaps[gaps > 0]
+        if gaps.size == 0:
+            return None
+        observed = float(np.median(gaps))
+        ratio = observed / baseline.period_s
+        if self._is_acceptable(ratio):
+            return None
+        return PeriodAlert(
+            object_id=object_id,
+            client_id=client_id,
+            observed_period_s=observed,
+            intended_period_s=baseline.period_s,
+            speed_ratio=ratio,
+            request_count=int(timestamps.size),
+        )
+
+    def scan(self, live_logs: Iterable[RequestLog]) -> List[PeriodAlert]:
+        """Check every live client-object flow; returns all alerts.
+
+        Live flows are grouped without the baseline's popularity
+        filters: an anomalous client must not escape by being the
+        only one misbehaving.
+        """
+        lenient = FlowFilter(
+            min_requests_per_client_flow=self.min_live_requests,
+            min_clients_per_object_flow=1,
+        )
+        flows = extract_flows(live_logs, lenient)
+        alerts: List[PeriodAlert] = []
+        for object_id, flow in flows.items():
+            if object_id not in self.baselines:
+                continue
+            for client_id, client_flow in flow.client_flows.items():
+                alert = self.check_flow(
+                    object_id, client_id, client_flow.timestamps
+                )
+                if alert is not None:
+                    alerts.append(alert)
+        return sorted(alerts, key=lambda alert: alert.speed_ratio)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _is_acceptable(self, ratio: float) -> bool:
+        if abs(ratio - 1.0) <= self.tolerance:
+            return True
+        if self.allow_harmonics and ratio > 1.0:
+            nearest = round(ratio)
+            if nearest >= 2 and abs(ratio - nearest) <= self.tolerance:
+                return True
+        return False

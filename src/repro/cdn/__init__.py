@@ -1,0 +1,62 @@
+"""CDN edge-delivery substrate.
+
+LRU+TTL caching, origin fleet accounting, latency models, the edge
+server that turns request events into log records, delivery metrics,
+and the two optimizations the paper proposes: ngram prefetching
+(§5.2) and machine-traffic deprioritization (§5.1).
+"""
+
+from .cache import CacheEntry, CacheStats, LruTtlCache
+from .edge import EdgeServer, ServedRequest
+from .metrics import DeliveryMetrics, percentile
+from .network import LatencyModel, LatencySample
+from .origin import OriginFleet, OriginStats
+from .prefetch import (
+    NgramPrefetcher,
+    ObjectIndex,
+    PrefetchStats,
+    TimedNgramPrefetcher,
+    build_object_index,
+)
+from .purge import PurgeController, PurgeRequest
+from .replay import ReplayOutcome, ReplayPolicy, WhatIfReplayer
+from .scheduler import (
+    HUMAN,
+    MACHINE,
+    ClassMetrics,
+    CompletedJob,
+    Job,
+    PriorityServer,
+    simulate,
+)
+
+__all__ = [
+    "LruTtlCache",
+    "CacheEntry",
+    "CacheStats",
+    "EdgeServer",
+    "ServedRequest",
+    "LatencyModel",
+    "LatencySample",
+    "OriginFleet",
+    "OriginStats",
+    "DeliveryMetrics",
+    "percentile",
+    "NgramPrefetcher",
+    "TimedNgramPrefetcher",
+    "ObjectIndex",
+    "PrefetchStats",
+    "build_object_index",
+    "PurgeController",
+    "PurgeRequest",
+    "ReplayPolicy",
+    "ReplayOutcome",
+    "WhatIfReplayer",
+    "Job",
+    "CompletedJob",
+    "PriorityServer",
+    "ClassMetrics",
+    "simulate",
+    "HUMAN",
+    "MACHINE",
+]

@@ -1,0 +1,152 @@
+"""Edge cache: LRU eviction with per-object TTL expiry.
+
+A deliberately faithful miniature of a CDN edge cache: bounded
+capacity in bytes, least-recently-used eviction, per-object freshness
+lifetimes from customer policy, and hit/miss/expired accounting.
+``OrderedDict`` gives O(1) LRU operations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["CacheEntry", "CacheStats", "LruTtlCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached object."""
+
+    key: str
+    size_bytes: int
+    stored_at: float
+    expires_at: Optional[float]
+
+    def fresh(self, now: float) -> bool:
+        return self.expires_at is None or now < self.expires_at
+
+
+@dataclass
+class CacheStats:
+    """Running cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    expired: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.expired
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LruTtlCache:
+    """Byte-bounded LRU cache with TTL expiry.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total budget; single objects larger than this are never
+        stored.
+    default_ttl:
+        Freshness lifetime applied when a put carries none.
+    """
+
+    def __init__(
+        self, capacity_bytes: int, default_ttl: Optional[float] = None
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.default_ttl = default_ttl
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._used_bytes = 0
+
+    # -- core operations ---------------------------------------------------
+
+    def get(self, key: str, now: float) -> Optional[CacheEntry]:
+        """Look up an object; counts a hit, miss, or expiry."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if not entry.fresh(now):
+            self._remove(key)
+            self.stats.expired += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def contains_fresh(self, key: str, now: float) -> bool:
+        """Non-counting freshness probe (used by the prefetcher)."""
+        entry = self._entries.get(key)
+        return entry is not None and entry.fresh(now)
+
+    def put(
+        self,
+        key: str,
+        size_bytes: int,
+        now: float,
+        ttl: Optional[float] = None,
+    ) -> bool:
+        """Insert or refresh an object; returns False if too large."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if size_bytes > self.capacity_bytes:
+            return False
+        if key in self._entries:
+            self._remove(key)
+        effective_ttl = ttl if ttl is not None else self.default_ttl
+        expires_at = None if effective_ttl is None else now + effective_ttl
+        self._evict_for(size_bytes)
+        self._entries[key] = CacheEntry(key, size_bytes, now, expires_at)
+        self._used_bytes += size_bytes
+        self.stats.stores += 1
+        return True
+
+    def invalidate(self, key: str) -> bool:
+        """Drop an object; returns True when it was present."""
+        if key in self._entries:
+            self._remove(key)
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used_bytes = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _remove(self, key: str) -> None:
+        entry = self._entries.pop(key)
+        self._used_bytes -= entry.size_bytes
+
+    def _evict_for(self, incoming_bytes: int) -> None:
+        while self._used_bytes + incoming_bytes > self.capacity_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._used_bytes -= evicted.size_bytes
+            self.stats.evictions += 1
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._entries.keys())

@@ -1,0 +1,180 @@
+"""The edge server: where requests become log lines.
+
+An :class:`EdgeServer` owns one cache, applies the customer's
+cacheability decision carried on each endpoint, consults the origin
+fleet on misses and no-store objects, and emits a
+:class:`repro.logs.record.RequestLog` per request — the exact record
+type the analysis pipeline consumes.  This is the join point between
+the synthetic-traffic substrate and the measurement code: the
+characterization modules cannot tell (and must not care) whether a
+log came from here or from a real CDN.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..logs.record import CacheStatus, RequestLog
+from ..synth.domains import Endpoint
+from ..synth.sessions import RequestEvent
+from ..synth.sizes import SizeModel
+from .cache import LruTtlCache
+from .network import LatencyModel, LatencySample
+from .origin import OriginFleet
+
+__all__ = ["EdgeServer", "ServedRequest"]
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """The edge's full account of one request."""
+
+    log: RequestLog
+    latency: LatencySample
+    origin_fetch: bool
+
+
+class EdgeServer:
+    """One CDN edge machine.
+
+    Parameters
+    ----------
+    edge_id:
+        Identifier recorded in emitted logs.
+    cache:
+        The edge's object cache.
+    origins:
+        Shared origin fleet (for offload accounting).
+    latency_model, size_model:
+        Samplers for latency and response sizes.
+    rng:
+        Substream for per-request noise (status codes, dynamic sizes).
+    """
+
+    def __init__(
+        self,
+        edge_id: str,
+        cache: LruTtlCache,
+        origins: OriginFleet,
+        latency_model: LatencyModel,
+        size_model: SizeModel,
+        rng: random.Random,
+        parent: Optional[LruTtlCache] = None,
+    ) -> None:
+        self.edge_id = edge_id
+        self.cache = cache
+        self.origins = origins
+        self.latency_model = latency_model
+        self.size_model = size_model
+        self._rng = rng
+        #: Optional shared parent (regional-tier) cache: edge misses
+        #: consult it before the origin, the hierarchy real CDNs use
+        #: to absorb the long tail ("propagate from the edge server
+        #: through the CDN to origin content servers", §4).
+        self.parent = parent
+        self.parent_hits = 0
+        #: Stable sizes for cacheable objects (an object in cache has
+        #: one size); dynamic objects are re-sampled per response.
+        self._object_sizes: Dict[str, int] = {}
+        self.requests_served = 0
+
+    # -- request path ----------------------------------------------------------
+
+    def serve(self, event: RequestEvent) -> ServedRequest:
+        """Process one request event and emit its log record."""
+        endpoint = event.endpoint
+        object_id = f"{event.domain.name}{endpoint.url}"
+        now = event.timestamp
+        self.requests_served += 1
+        parent_fetch = False
+
+        if endpoint.cacheable:
+            entry = self.cache.get(object_id, now)
+            if entry is not None:
+                size = entry.size_bytes
+                cache_status = CacheStatus.HIT
+                origin_fetch = False
+            else:
+                size = self._stable_size(object_id, endpoint)
+                cache_status = CacheStatus.MISS
+                ttl_value = event.domain.policy.ttl_seconds
+                if self.parent is not None and self.parent.get(object_id, now):
+                    # Served from the regional tier: still a miss at
+                    # the edge, but the origin is spared.
+                    origin_fetch = False
+                    parent_fetch = True
+                    self.parent_hits += 1
+                else:
+                    origin_fetch = True
+                    self.origins.fetch(event.domain.name, size)
+                    if self.parent is not None:
+                        self.parent.put(object_id, size, now, ttl=ttl_value)
+                self.cache.put(object_id, size, now, ttl=ttl_value)
+            ttl: Optional[float] = event.domain.policy.ttl_seconds
+        else:
+            size = self.size_model.sample(endpoint)
+            cache_status = CacheStatus.NO_STORE
+            origin_fetch = True
+            ttl = None
+            self.origins.fetch(event.domain.name, size)
+
+        latency = self.latency_model.sample(size, origin_fetch, parent_fetch)
+        log = RequestLog(
+            timestamp=now,
+            client_ip_hash=event.client.ip_hash,
+            user_agent=event.client.user_agent,
+            method=endpoint.method,
+            domain=event.domain.name,
+            url=endpoint.url,
+            mime_type=endpoint.mime_type,
+            status=self._status_code(endpoint),
+            response_bytes=size,
+            cache_status=cache_status,
+            request_bytes=self.size_model.sample_request_body(endpoint),
+            ttl_seconds=ttl,
+            edge_id=self.edge_id,
+        )
+        return ServedRequest(log=log, latency=latency, origin_fetch=origin_fetch)
+
+    # -- prefetch support ---------------------------------------------------------
+
+    def prefetch(self, domain_name: str, endpoint: Endpoint, now: float,
+                 ttl: Optional[float]) -> bool:
+        """Warm the cache with an object ahead of a predicted request.
+
+        Returns True when the object was actually fetched (it was not
+        already fresh in cache).  Uncacheable objects cannot be
+        prefetched — §5.2 proposes prefetching precisely for the
+        cacheable-but-missed population.
+        """
+        if not endpoint.cacheable:
+            return False
+        object_id = f"{domain_name}{endpoint.url}"
+        if self.cache.contains_fresh(object_id, now):
+            return False
+        size = self._stable_size(object_id, endpoint)
+        self.origins.fetch(domain_name, size)
+        self.cache.put(object_id, size, now, ttl=ttl)
+        return True
+
+    # -- internals ------------------------------------------------------------------
+
+    def _stable_size(self, object_id: str, endpoint: Endpoint) -> int:
+        size = self._object_sizes.get(object_id)
+        if size is None:
+            size = self.size_model.sample(endpoint)
+            self._object_sizes[object_id] = size
+        return size
+
+    def _status_code(self, endpoint: Endpoint) -> int:
+        roll = self._rng.random()
+        if roll < 0.012:
+            return 404
+        if roll < 0.016:
+            return 500
+        if endpoint.method.is_upload() and roll < 0.35:
+            return 204
+        return 200

@@ -1,0 +1,93 @@
+"""Delivery metrics for edge-simulator experiments.
+
+The optimization experiments (prefetching, M2M deprioritization)
+are judged on cache hit ratio and latency percentiles; this module
+accumulates both in a single pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..logs.record import CacheStatus
+from .edge import ServedRequest
+
+__all__ = ["DeliveryMetrics", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class DeliveryMetrics:
+    """Accumulates hit/latency statistics over served requests."""
+
+    hits: int = 0
+    misses: int = 0
+    no_store: int = 0
+    origin_fetches: int = 0
+    total_latency_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+    bytes_served: int = 0
+
+    def record(self, served: ServedRequest) -> None:
+        status = served.log.cache_status
+        if status is CacheStatus.HIT:
+            self.hits += 1
+        elif status is CacheStatus.MISS:
+            self.misses += 1
+        else:
+            self.no_store += 1
+        if served.origin_fetch:
+            self.origin_fetches += 1
+        total = served.latency.total_s
+        self.total_latency_s += total
+        self.latencies_s.append(total)
+        self.bytes_served += served.log.response_bytes
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses + self.no_store
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over cacheable traffic (hits + misses)."""
+        cacheable = self.hits + self.misses
+        return self.hits / cacheable if cacheable else 0.0
+
+    @property
+    def overall_hit_ratio(self) -> float:
+        """Hits over all traffic, uncacheable included."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.requests if self.requests else 0.0
+
+    def latency_percentile_s(self, q: float) -> float:
+        return percentile(self.latencies_s, q)
+
+    def summary(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "requests": float(self.requests),
+            "hit_ratio": self.hit_ratio,
+            "overall_hit_ratio": self.overall_hit_ratio,
+            "origin_fetches": float(self.origin_fetches),
+            "mean_latency_ms": self.mean_latency_s * 1e3,
+        }
+        if self.latencies_s:
+            out["p50_latency_ms"] = self.latency_percentile_s(50) * 1e3
+            out["p95_latency_ms"] = self.latency_percentile_s(95) * 1e3
+        return out

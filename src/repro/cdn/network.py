@@ -1,0 +1,91 @@
+"""Latency models for the edge simulator.
+
+Latency enters the paper twice: uncacheable/missed requests must be
+"tunneled through the CDN to origin servers" (§4) — paying the
+edge→origin round trip — and the proposed optimizations (prefetching,
+M2M deprioritization) are motivated by the latency a human perceives.
+
+The model is a lognormal per hop: last-mile (client↔edge) and
+middle-mile (edge↔origin), plus a transfer term proportional to the
+response size.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["LatencyModel", "LatencySample"]
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """Decomposed latency of one served request (seconds)."""
+
+    last_mile_s: float
+    middle_mile_s: float
+    transfer_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.last_mile_s + self.middle_mile_s + self.transfer_s
+
+
+class LatencyModel:
+    """Samples request latencies.
+
+    Parameters
+    ----------
+    rng:
+        Dedicated random substream.
+    last_mile_median_s:
+        Median client↔edge RTT (CDNs place edges close: ~20 ms).
+    middle_mile_median_s:
+        Median edge↔origin RTT (~80 ms; origins are far).
+    bytes_per_second:
+        Effective throughput for the transfer term.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        last_mile_median_s: float = 0.020,
+        middle_mile_median_s: float = 0.080,
+        sigma: float = 0.45,
+        bytes_per_second: float = 4e6,
+    ) -> None:
+        self._rng = rng
+        self._last_mu = math.log(last_mile_median_s)
+        self._middle_mu = math.log(middle_mile_median_s)
+        self._sigma = sigma
+        self._bytes_per_second = bytes_per_second
+
+    #: A regional parent cache sits much closer than the origin.
+    PARENT_DISTANCE_FACTOR = 0.35
+
+    def sample(
+        self,
+        response_bytes: int,
+        origin_fetch: bool,
+        parent_fetch: bool = False,
+    ) -> LatencySample:
+        """Latency for one response.
+
+        ``origin_fetch`` is True for misses and uncacheable objects
+        (the edge must consult the customer origin);
+        ``parent_fetch`` is True when a regional parent cache served
+        the miss instead — a shorter middle-mile hop.
+        """
+        last = self._rng.lognormvariate(self._last_mu, self._sigma)
+        if origin_fetch:
+            middle = self._rng.lognormvariate(self._middle_mu, self._sigma)
+        elif parent_fetch:
+            middle = (
+                self._rng.lognormvariate(self._middle_mu, self._sigma)
+                * self.PARENT_DISTANCE_FACTOR
+            )
+        else:
+            middle = 0.0
+        transfer = response_bytes / self._bytes_per_second
+        return LatencySample(last, middle, transfer)

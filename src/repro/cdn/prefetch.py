@@ -1,0 +1,201 @@
+"""Ngram-driven prefetching at the edge (§5.2's proposed optimization).
+
+"A JSON request prediction system can be used by CDNs to perform
+prefetching for cacheable requests."  This module implements exactly
+that: after each served request, the client's recent request history
+is fed to a trained :class:`repro.ngram.model.BackoffNgramModel`; the
+top-K predicted next objects that are cacheable and not already fresh
+in cache are fetched from origin ahead of time.
+
+The trade-off the experiment (benchmarks/test_ext_prefetch.py)
+quantifies: hit-ratio gain vs extra origin fetches (wasted prefetches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ngram.model import BackoffNgramModel
+from ..ngram.timing import TimedNgramModel
+from ..synth.domains import DomainProfile, Endpoint
+from ..synth.sessions import RequestEvent
+from .edge import EdgeServer
+
+__all__ = [
+    "ObjectIndex",
+    "PrefetchStats",
+    "NgramPrefetcher",
+    "TimedNgramPrefetcher",
+    "build_object_index",
+]
+
+
+def build_object_index(
+    domains: Sequence[DomainProfile],
+) -> Dict[str, Tuple[DomainProfile, Endpoint]]:
+    """Map object id → (domain, endpoint) for prefetch resolution.
+
+    Only GET-able JSON endpoints are indexed: POSTs cannot be
+    prefetched (the paper's §5.2 restricts prediction features to
+    URLs precisely because GETs need no body).
+    """
+    index: Dict[str, Tuple[DomainProfile, Endpoint]] = {}
+    for domain in domains:
+        for endpoint in domain.json_endpoints:
+            if endpoint.method.is_download():
+                index[f"{domain.name}{endpoint.url}"] = (domain, endpoint)
+    return index
+
+
+ObjectIndex = Dict[str, Tuple[DomainProfile, Endpoint]]
+
+
+@dataclass
+class PrefetchStats:
+    """Prefetcher effectiveness counters."""
+
+    predictions: int = 0
+    issued: int = 0
+    skipped_uncacheable: int = 0
+    skipped_fresh: int = 0
+    skipped_unresolvable: int = 0
+
+    @property
+    def issue_rate(self) -> float:
+        return self.issued / self.predictions if self.predictions else 0.0
+
+
+class NgramPrefetcher:
+    """Per-client history tracking + top-K prefetch issuing.
+
+    Parameters
+    ----------
+    model:
+        A trained backoff ngram model over raw object ids.
+    object_index:
+        Resolution map from predicted object ids to endpoints.
+    k:
+        Prefetch the top-K predicted objects per request.
+    history_length:
+        Client history tokens fed to the model (the paper's N).
+    """
+
+    def __init__(
+        self,
+        model: BackoffNgramModel,
+        object_index: ObjectIndex,
+        k: int = 3,
+        history_length: int = 1,
+        max_clients: int = 100_000,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.model = model
+        self.object_index = object_index
+        self.k = k
+        self.history_length = history_length
+        self.stats = PrefetchStats()
+        self._histories: Dict[str, List[str]] = {}
+        self._max_clients = max_clients
+
+    def on_request(self, edge: EdgeServer, event: RequestEvent) -> int:
+        """Observe one served request; issue prefetches; return count."""
+        client_id = event.client.client_key
+        object_id = f"{event.domain.name}{event.endpoint.url}"
+        if len(self._histories) >= self._max_clients:
+            self._histories.clear()
+        history = self._histories.setdefault(client_id, [])
+        history.append(object_id)
+        del history[: -self.history_length]
+
+        issued = 0
+        for predicted in self.model.predict(history, k=self.k):
+            self.stats.predictions += 1
+            resolved = self.object_index.get(predicted)
+            if resolved is None:
+                self.stats.skipped_unresolvable += 1
+                continue
+            domain, endpoint = resolved
+            if not endpoint.cacheable:
+                self.stats.skipped_uncacheable += 1
+                continue
+            if edge.prefetch(
+                domain.name, endpoint, event.timestamp, domain.policy.ttl_seconds
+            ):
+                self.stats.issued += 1
+                issued += 1
+            else:
+                self.stats.skipped_fresh += 1
+        return issued
+
+
+class TimedNgramPrefetcher:
+    """Timing-aware prefetching (§5.2 future work, implemented).
+
+    Uses :class:`repro.ngram.timing.TimedNgramModel` to skip
+    prefetches that cannot pay off:
+
+    * the predicted request is expected *sooner* than an origin fetch
+      completes (``min_lead_s``) — the prefetch loses the race;
+    * the predicted request is expected *after* the object's TTL —
+      the prefetched copy would be stale on arrival.
+
+    Compared to :class:`NgramPrefetcher` this trades a little hit
+    ratio for substantially fewer wasted origin fetches (benchmarked
+    in ``benchmarks/test_ext_prefetch.py``).
+    """
+
+    def __init__(
+        self,
+        model: TimedNgramModel,
+        object_index: ObjectIndex,
+        k: int = 3,
+        history_length: int = 1,
+        min_lead_s: float = 0.1,
+        max_clients: int = 100_000,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.model = model
+        self.object_index = object_index
+        self.k = k
+        self.history_length = history_length
+        self.min_lead_s = min_lead_s
+        self.stats = PrefetchStats()
+        #: Predictions skipped because their timing made them useless.
+        self.skipped_timing = 0
+        self._histories: Dict[str, List[str]] = {}
+        self._max_clients = max_clients
+
+    def on_request(self, edge: EdgeServer, event: RequestEvent) -> int:
+        client_id = event.client.client_key
+        object_id = f"{event.domain.name}{event.endpoint.url}"
+        if len(self._histories) >= self._max_clients:
+            self._histories.clear()
+        history = self._histories.setdefault(client_id, [])
+        history.append(object_id)
+        del history[: -self.history_length]
+
+        issued = 0
+        for prediction in self.model.predict(history, k=self.k):
+            self.stats.predictions += 1
+            resolved = self.object_index.get(prediction.token)
+            if resolved is None:
+                self.stats.skipped_unresolvable += 1
+                continue
+            domain, endpoint = resolved
+            if not endpoint.cacheable:
+                self.stats.skipped_uncacheable += 1
+                continue
+            gap = prediction.expected_gap_s
+            ttl = domain.policy.ttl_seconds
+            if gap is not None and (gap < self.min_lead_s or gap > ttl):
+                self.skipped_timing += 1
+                continue
+            if edge.prefetch(domain.name, endpoint, event.timestamp, ttl):
+                self.stats.issued += 1
+                issued += 1
+            else:
+                self.stats.skipped_fresh += 1
+        return issued

@@ -1,0 +1,142 @@
+"""Cache purge (invalidation) across an edge fleet.
+
+CDN customers invalidate objects when content changes — breaking
+news replaces a cached story list, a config rollout must take effect
+now.  Purges do not reach every edge instantly; this module models
+the fan-out with a per-edge propagation delay, the behaviour real
+purge pipelines exhibit.
+
+A purge is recorded centrally with its issue time; each edge applies
+it the first time that edge handles traffic *after* the purge has
+propagated to it.  Until then the edge may still serve the stale
+object — exactly the consistency window operators reason about.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cache import LruTtlCache
+from .edge import EdgeServer
+
+__all__ = ["PurgeRequest", "PurgeController"]
+
+
+@dataclass(frozen=True)
+class PurgeRequest:
+    """One customer purge."""
+
+    #: Glob pattern over object ids: exact id, ``domain/*``, etc.
+    pattern: str
+    issued_at: float
+    purge_id: int = 0
+
+    def matches(self, object_id: str) -> bool:
+        return fnmatch.fnmatchcase(object_id, self.pattern)
+
+
+class PurgeController:
+    """Coordinates purge propagation over a set of edges.
+
+    Parameters
+    ----------
+    edges:
+        The edge fleet; each edge's cache is purged independently.
+    rng:
+        Source for per-edge propagation jitter.
+    propagation_median_s:
+        Median time for a purge to reach an edge (real pipelines run
+        seconds to tens of seconds).
+    """
+
+    def __init__(
+        self,
+        edges: Sequence[EdgeServer],
+        rng: random.Random,
+        propagation_median_s: float = 5.0,
+        propagation_spread: float = 0.8,
+    ) -> None:
+        if propagation_median_s < 0:
+            raise ValueError("propagation_median_s must be non-negative")
+        self._edges = list(edges)
+        self._rng = rng
+        self._median = propagation_median_s
+        self._spread = propagation_spread
+        self._counter = 0
+        #: (request, edge_id → arrival time, edge_id set already applied)
+        self._pending: List[Tuple[PurgeRequest, Dict[str, float], set]] = []
+        self.objects_purged = 0
+        self.purges_issued = 0
+
+    # -- issuing ------------------------------------------------------------
+
+    def purge(self, pattern: str, now: float) -> PurgeRequest:
+        """Issue a purge for all objects matching ``pattern``."""
+        self._counter += 1
+        request = PurgeRequest(pattern=pattern, issued_at=now,
+                               purge_id=self._counter)
+        arrivals = {
+            edge.edge_id: now + self._propagation_delay()
+            for edge in self._edges
+        }
+        self._pending.append((request, arrivals, set()))
+        self.purges_issued += 1
+        return request
+
+    def _propagation_delay(self) -> float:
+        if self._median == 0:
+            return 0.0
+        import math
+
+        return self._rng.lognormvariate(math.log(self._median), self._spread)
+
+    # -- application -----------------------------------------------------------
+
+    def advance(self, now: float) -> int:
+        """Apply every purge that has propagated by ``now``.
+
+        Call from the replay loop (or a timer); returns the number of
+        cache entries dropped in this step.
+        """
+        dropped = 0
+        finished: List[int] = []
+        for index, (request, arrivals, applied) in enumerate(self._pending):
+            for edge in self._edges:
+                if edge.edge_id in applied:
+                    continue
+                if now >= arrivals[edge.edge_id]:
+                    dropped += self._apply(edge.cache, request)
+                    applied.add(edge.edge_id)
+            if len(applied) == len(self._edges):
+                finished.append(index)
+        for index in reversed(finished):
+            self._pending.pop(index)
+        self.objects_purged += dropped
+        return dropped
+
+    def _apply(self, cache: LruTtlCache, request: PurgeRequest) -> int:
+        victims = [
+            key for key in list(cache.keys()) if request.matches(key)
+        ]
+        for key in victims:
+            cache.invalidate(key)
+        return len(victims)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def consistency_window(self, request: PurgeRequest) -> Optional[float]:
+        """Worst-case staleness window of a pending purge (seconds).
+
+        None once the purge has fully propagated (no longer pending).
+        """
+        for pending, arrivals, _ in self._pending:
+            if pending.purge_id == request.purge_id:
+                return max(arrivals.values()) - pending.issued_at
+        return None

@@ -1,0 +1,280 @@
+"""Command-line interface.
+
+Subcommands mirror the reproduction workflow::
+
+    repro-json-cdn generate  --dataset short --requests 100000 --out logs.jsonl.gz
+    repro-json-cdn characterize --logs logs.jsonl.gz
+    repro-json-cdn patterns  --dataset long --requests 60000
+    repro-json-cdn trend
+    repro-json-cdn paper     --requests 60000
+
+``generate`` writes a synthetic dataset to disk; the analysis
+commands accept either ``--logs <file>`` or generate a dataset on the
+fly.  ``paper`` runs the whole evaluation and prints every table and
+figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.trend import analyze_trend
+from .core.pipeline import run_characterization, run_pattern_analysis
+from .core.report import render_bar_chart
+from .logs.io import read_logs, write_logs
+from .synth.trend import TrendModel
+from .synth.workload import WorkloadBuilder, long_term_config, short_term_config
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-json-cdn",
+        description="Reproduction of 'Characterizing JSON Traffic Patterns on a CDN' (IMC 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--dataset",
+            choices=("short", "long"),
+            default="short",
+            help="dataset shape (Table 2): short=10min wide, long=24h narrow",
+        )
+        p.add_argument("--requests", type=int, default=50_000,
+                       help="target JSON request count")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--logs", metavar="FILE",
+                       help="read logs from FILE instead of generating")
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    add_dataset_args(gen)
+    gen.add_argument("--out", required=True, metavar="FILE",
+                     help="output path (.jsonl/.tsv, optionally .gz)")
+
+    cha = sub.add_parser("characterize", help="run the §4 characterization")
+    add_dataset_args(cha)
+
+    pat = sub.add_parser("patterns", help="run the §5 pattern analyses")
+    add_dataset_args(pat)
+    pat.add_argument("--permutations", type=int, default=100,
+                     help="permutation count x for the period detector")
+
+    trend = sub.add_parser("trend", help="print the Figure 1 ratio series")
+    trend.add_argument("--seed", type=int, default=0)
+
+    windows = sub.add_parser(
+        "windows", help="windowed (streaming) traffic time series"
+    )
+    add_dataset_args(windows)
+    windows.add_argument("--window", type=float, default=300.0,
+                         help="tumbling window width in seconds")
+
+    paper = sub.add_parser("paper", help="reproduce every table and figure")
+    add_dataset_args(paper)
+
+    validate = sub.add_parser(
+        "validate",
+        help="check a generated dataset against the paper's calibration targets",
+    )
+    validate.add_argument("--dataset", choices=("short", "long"), default="short")
+    validate.add_argument("--requests", type=int, default=50_000)
+    validate.add_argument("--seed", type=int, default=0)
+
+    replay = sub.add_parser(
+        "replay",
+        help="what-if TTL sweep: replay a JSON trace under alternative policies",
+    )
+    add_dataset_args(replay)
+    replay.add_argument(
+        "--ttls",
+        default="30,300,3600",
+        help="comma-separated TTLs (seconds) to sweep",
+    )
+    replay.add_argument("--edges", type=int, default=3,
+                        help="edge caches to spread clients across")
+
+    sub.add_parser("experiments", help="list every reproducible artifact")
+    return parser
+
+
+def _build_dataset(args: argparse.Namespace):
+    config = (
+        short_term_config(args.requests, seed=args.seed)
+        if args.dataset == "short"
+        else long_term_config(args.requests, seed=args.seed)
+    )
+    return WorkloadBuilder(config).build()
+
+
+def _load_or_generate(args: argparse.Namespace):
+    if args.logs:
+        return list(read_logs(args.logs)), None
+    dataset = _build_dataset(args)
+    categories = {d.name: d.category.value for d in dataset.domains}
+    return dataset.logs, categories
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    count = write_logs(dataset.logs, args.out)
+    print(f"wrote {count} logs to {args.out}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    logs, categories = _load_or_generate(args)
+    report = run_characterization(logs, categories)
+    print(report.render(args.dataset))
+    return 0
+
+
+def _cmd_patterns(args: argparse.Namespace) -> int:
+    from .periodicity.detector import DetectorConfig
+
+    logs, _ = _load_or_generate(args)
+    report = run_pattern_analysis(
+        logs, detector_config=DetectorConfig(permutations=args.permutations)
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    model = TrendModel(seed=args.seed)
+    analysis = analyze_trend(model.series())
+    yearly = [
+        (label, ratio)
+        for label, ratio in analysis.series
+        if label.endswith(("-01", "-06"))
+    ]
+    print(
+        render_bar_chart(
+            yearly,
+            title="Figure 1 — JSON:HTML request ratio",
+            value_format="{:.2f}x",
+        )
+    )
+    print(f"\ngrowth over window: {analysis.growth_factor:.1f}x "
+          f"(end ratio {analysis.end_ratio:.2f}x)")
+    return 0
+
+
+def _cmd_windows(args: argparse.Namespace) -> int:
+    from .analysis.streaming import WindowedCharacterizer
+    from .core.report import render_table
+
+    logs, _ = _load_or_generate(args)
+    characterizer = WindowedCharacterizer(window_s=args.window)
+    rows = []
+    for window in characterizer.windows(logs):
+        offset = window.window_start - logs[0].timestamp if logs else 0.0
+        ratio = window.json_html_ratio
+        rows.append(
+            [
+                f"+{offset:.0f}s",
+                window.total_requests,
+                f"{window.json_share * 100:.1f}%",
+                "inf" if ratio == float("inf") else f"{ratio:.2f}",
+                f"{window.get_share * 100:.1f}%",
+                f"{window.uncacheable_share * 100:.1f}%",
+                window.client_count,
+            ]
+        )
+    print(
+        render_table(
+            ["window", "requests", "json", "json:html", "get", "no-store",
+             "clients"],
+            rows,
+            title=f"Traffic time series ({args.window:.0f}s windows)",
+        )
+    )
+    return 0
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    _cmd_trend(args)
+    print()
+    logs, categories = _load_or_generate(args)
+    print(run_characterization(logs, categories).render(args.dataset))
+    print()
+    print(run_pattern_analysis(logs).render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .synth.validation import validate_dataset
+
+    dataset = _build_dataset(args)
+    report = validate_dataset(dataset)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .core.inventory import EXPERIMENTS
+    from .core.report import render_table
+
+    rows = [
+        [exp.experiment_id, exp.kind, exp.title, exp.benchmark]
+        for exp in EXPERIMENTS
+    ]
+    print(render_table(["id", "kind", "artifact", "benchmark"], rows,
+                       title="Experiment inventory"))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .cdn.replay import WhatIfReplayer
+    from .core.report import render_table
+
+    logs, _ = _load_or_generate(args)
+    replayer = WhatIfReplayer(logs)
+    ttls = [float(value) for value in args.ttls.split(",") if value]
+    outcomes = replayer.ttl_sweep(ttls, num_edges=args.edges)
+    rows = [
+        [
+            outcome.policy.name,
+            f"{outcome.hit_ratio:.3f}",
+            f"{outcome.origin_fraction:.3f}",
+            f"{outcome.origin_bytes / 1e6:.1f} MB",
+        ]
+        for outcome in outcomes
+    ]
+    print(
+        render_table(
+            ["policy", "hit ratio", "origin fraction", "origin bytes"],
+            rows,
+            title=(
+                f"What-if TTL sweep over {replayer.trace_length:,} JSON "
+                f"requests ({replayer.cacheable_share() * 100:.0f}% to "
+                "cacheable objects)"
+            ),
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "characterize": _cmd_characterize,
+    "patterns": _cmd_patterns,
+    "trend": _cmd_trend,
+    "windows": _cmd_windows,
+    "paper": _cmd_paper,
+    "validate": _cmd_validate,
+    "replay": _cmd_replay,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

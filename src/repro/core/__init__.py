@@ -1,0 +1,43 @@
+"""The paper's core: taxonomy, end-to-end pipeline, reporting."""
+
+from .inventory import EXPERIMENTS, Experiment, experiments_by_kind
+from .pipeline import (
+    CharacterizationReport,
+    PatternReport,
+    run_characterization,
+    run_pattern_analysis,
+)
+from .report import format_pct, render_bar_chart, render_heatmap, render_table
+from .stats import ecdf, histogram, relative_error, within
+from .taxonomy import (
+    AppClass,
+    DeviceType,
+    IndustryCategory,
+    RequestKind,
+    TrafficSource,
+    TriggerType,
+)
+
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "experiments_by_kind",
+    "DeviceType",
+    "AppClass",
+    "TriggerType",
+    "RequestKind",
+    "IndustryCategory",
+    "TrafficSource",
+    "CharacterizationReport",
+    "PatternReport",
+    "run_characterization",
+    "run_pattern_analysis",
+    "render_table",
+    "render_bar_chart",
+    "render_heatmap",
+    "format_pct",
+    "ecdf",
+    "histogram",
+    "relative_error",
+    "within",
+]

@@ -1,0 +1,134 @@
+"""Machine-readable experiment inventory.
+
+The DESIGN.md experiment index, as data: every paper artifact and
+extension, which modules implement it, and which benchmark
+regenerates it.  Powers the ``repro-json-cdn experiments`` listing
+and a self-consistency test that keeps the index honest as the
+repository evolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["Experiment", "EXPERIMENTS", "experiments_by_kind"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact."""
+
+    experiment_id: str
+    #: "paper" (a table/figure from the evaluation), "extension"
+    #: (something the paper proposes but does not run), or "ablation".
+    kind: str
+    title: str
+    modules: Tuple[str, ...]
+    benchmark: str  # path relative to the repository root
+    paper_reference: str = ""
+
+
+EXPERIMENTS: Tuple[Experiment, ...] = (
+    Experiment(
+        "F1", "paper", "JSON:HTML request-ratio trend, 2016→2019",
+        ("repro.synth.trend", "repro.analysis.trend"),
+        "benchmarks/test_fig1_trend.py", "Figure 1",
+    ),
+    Experiment(
+        "T1", "paper", "Manifest traffic pattern (sessions open on manifests)",
+        ("repro.synth.sessions", "repro.analysis.sessionize"),
+        "benchmarks/test_tab1_pattern.py", "Table 1",
+    ),
+    Experiment(
+        "T2", "paper", "Dataset summaries (short-term / long-term)",
+        ("repro.synth.workload", "repro.logs.summary"),
+        "benchmarks/test_tab2_datasets.py", "Table 2",
+    ),
+    Experiment(
+        "F3", "paper", "JSON requests by device type; browser split",
+        ("repro.useragent", "repro.analysis.characterize"),
+        "benchmarks/test_fig3_devices.py", "Figure 3 / §4",
+    ),
+    Experiment(
+        "S4R", "paper", "Request types (GET/POST)",
+        ("repro.analysis.characterize",),
+        "benchmarks/test_sec4_requests.py", "§4",
+    ),
+    Experiment(
+        "S4S", "paper", "Response cacheability and sizes",
+        ("repro.analysis.cacheability", "repro.analysis.sizes"),
+        "benchmarks/test_sec4_responses.py", "§4",
+    ),
+    Experiment(
+        "F4", "paper", "Domain cacheability heatmap by industry",
+        ("repro.analysis.cacheability",),
+        "benchmarks/test_fig4_heatmap.py", "Figure 4",
+    ),
+    Experiment(
+        "F5", "paper", "Periodicity detection; period histogram",
+        ("repro.periodicity",),
+        "benchmarks/test_fig5_periods.py", "Figure 5 / §5.1",
+    ),
+    Experiment(
+        "F6", "paper", "Periodic-client share CDF",
+        ("repro.periodicity.results",),
+        "benchmarks/test_fig6_client_share.py", "Figure 6",
+    ),
+    Experiment(
+        "T3", "paper", "Ngram top-K prediction accuracy",
+        ("repro.ngram",),
+        "benchmarks/test_tab3_ngram.py", "Table 3",
+    ),
+    Experiment(
+        "X1", "extension", "Ngram prefetching at the edge (+ timing-aware)",
+        ("repro.cdn.prefetch", "repro.ngram.timing"),
+        "benchmarks/test_ext_prefetch.py", "§5.2 proposal / future work",
+    ),
+    Experiment(
+        "X2", "extension", "Deprioritizing machine-to-machine traffic",
+        ("repro.cdn.scheduler",),
+        "benchmarks/test_ext_depri.py", "§5.1 proposal",
+    ),
+    Experiment(
+        "X3", "extension", "Geographic/temporal differences across regions",
+        ("repro.synth.regions", "repro.analysis.regional"),
+        "benchmarks/test_ext_regions.py", "§7 future work",
+    ),
+    Experiment(
+        "A1", "ablation", "Permutation count x in the period detector",
+        ("repro.periodicity.detector",),
+        "benchmarks/test_abl_permutations.py", "§5.1 parameters",
+    ),
+    Experiment(
+        "A2", "ablation", "Ngram history depth, backoff, per-position",
+        ("repro.ngram.model", "repro.ngram.evaluate"),
+        "benchmarks/test_abl_ngram_n.py", "§5.2",
+    ),
+    Experiment(
+        "A3", "ablation", "Multi-period flows (comb peeling)",
+        ("repro.periodicity.multiperiod",),
+        "benchmarks/test_abl_multiperiod.py", "§5.1 future work",
+    ),
+    Experiment(
+        "A4", "ablation", "Cache hierarchy depth (parent tier)",
+        ("repro.cdn.edge",),
+        "benchmarks/test_abl_tiered_cache.py", "§4 origin path",
+    ),
+    Experiment(
+        "A5", "ablation", "TTL / capacity what-ifs on the JSON trace",
+        ("repro.cdn.replay",),
+        "benchmarks/test_abl_ttl_sweep.py", "§4 cacheability",
+    ),
+    Experiment(
+        "P", "performance", "Hot-path microbenchmarks",
+        ("repro.useragent", "repro.ngram", "repro.cdn.cache",
+         "repro.periodicity"),
+        "benchmarks/test_perf_hotpaths.py", "",
+    ),
+)
+
+
+def experiments_by_kind(kind: str) -> List[Experiment]:
+    """All experiments of one kind (paper/extension/ablation/performance)."""
+    return [exp for exp in EXPERIMENTS if exp.kind == kind]

@@ -1,0 +1,249 @@
+"""End-to-end analysis pipeline: logs in, paper artifacts out.
+
+:func:`run_characterization` reproduces §4 (traffic source, request
+type, response type) and :func:`run_pattern_analysis` reproduces §5
+(periodicity + prediction) over any iterable of
+:class:`repro.logs.record.RequestLog` — synthetic or real.
+:meth:`CharacterizationReport.render` prints the §4 findings as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.cacheability import (
+    CacheabilityHeatmap,
+    CacheabilityStats,
+    analyze_cacheability,
+)
+from ..analysis.characterize import (
+    RequestTypeBreakdown,
+    TrafficSourceBreakdown,
+    characterize,
+)
+from ..analysis.sizes import SizeComparison, SizeDistribution, analyze_sizes
+from ..logs.record import RequestLog
+from ..logs.summary import DatasetSummary
+from ..ngram.evaluate import AccuracyResult, run_table3
+from ..useragent.appid import AppUsageReport, aggregate_apps
+from ..periodicity.detector import DetectorConfig
+from ..periodicity.flows import FlowFilter
+from ..periodicity.results import PeriodicityReport, analyze_logs
+from .report import format_pct, render_bar_chart, render_heatmap, render_table
+
+__all__ = [
+    "CharacterizationReport",
+    "PatternReport",
+    "run_characterization",
+    "run_pattern_analysis",
+]
+
+_HEATMAP_COLUMNS = ("never", "low", "mid", "high", "always")
+
+
+@dataclass
+class CharacterizationReport:
+    """Bundle of every §4 artifact for one dataset."""
+
+    summary: DatasetSummary
+    traffic_source: TrafficSourceBreakdown
+    request_type: RequestTypeBreakdown
+    cacheability: CacheabilityStats
+    heatmap: CacheabilityHeatmap
+    sizes: Dict[str, SizeDistribution]
+    apps: Optional[AppUsageReport] = None
+
+    @property
+    def size_comparison(self) -> Optional[SizeComparison]:
+        json_dist = self.sizes.get("application/json")
+        html_dist = self.sizes.get("text/html")
+        if not json_dist or not html_dist or not json_dist.count or not html_dist.count:
+            return None
+        return SizeComparison.between(json_dist, html_dist)
+
+    def render(self, name: str = "dataset") -> str:
+        """Human-readable §4 report."""
+        parts: List[str] = []
+        parts.append(
+            render_table(
+                ["dataset", "logs", "duration_s", "domains", "clients", "objects"],
+                [
+                    [
+                        name,
+                        self.summary.total_logs,
+                        f"{self.summary.duration_seconds:.0f}",
+                        self.summary.num_domains,
+                        self.summary.num_clients,
+                        self.summary.num_objects,
+                    ]
+                ],
+                title="Table 2 — dataset summary",
+            )
+        )
+        device_shares = self.traffic_source.device_shares()
+        parts.append(
+            render_bar_chart(
+                [(device, share * 100) for device, share in device_shares.items()],
+                title="Figure 3 — JSON requests by device type (%)",
+                value_format="{:.1f}%",
+            )
+        )
+        parts.append(
+            render_table(
+                ["metric", "value"],
+                [
+                    ["non-browser traffic", format_pct(self.traffic_source.non_browser_fraction)],
+                    ["mobile browser traffic", format_pct(self.traffic_source.mobile_browser_fraction)],
+                    ["mobile native-app traffic", format_pct(self.traffic_source.mobile_app_fraction)],
+                    ["GET requests", format_pct(self.request_type.get_fraction)],
+                    ["POST share of non-GET", format_pct(self.request_type.post_share_of_non_get)],
+                    ["uncacheable JSON traffic", format_pct(self.cacheability.uncacheable_fraction)],
+                ],
+                title="§4 — headline shares",
+            )
+        )
+        comparison = self.size_comparison
+        if comparison is not None:
+            parts.append(
+                render_table(
+                    ["comparison", "p50", "p75"],
+                    [
+                        [
+                            "JSON smaller than HTML by",
+                            format_pct(comparison.smaller_at_p50),
+                            format_pct(comparison.smaller_at_p75),
+                        ]
+                    ],
+                    title="§4 — response sizes",
+                )
+            )
+        parts.append(
+            render_heatmap(
+                self.heatmap.rows(),
+                _HEATMAP_COLUMNS,
+                title="Figure 4 — domain cacheability by category",
+            )
+        )
+        if self.apps is not None and self.apps.total_requests:
+            rows = [
+                [
+                    name,
+                    requests,
+                    format_pct(requests / self.apps.total_requests),
+                    self.apps.version_spread(name),
+                ]
+                for name, requests in self.apps.top_apps(8)
+            ]
+            rows.append(
+                [
+                    "(identified total)",
+                    "-",
+                    format_pct(self.apps.identified_fraction),
+                    "-",
+                ]
+            )
+            parts.append(
+                render_table(
+                    ["application", "requests", "share", "versions"],
+                    rows,
+                    title="§4 — top applications consuming JSON",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+@dataclass
+class PatternReport:
+    """Bundle of the §5 artifacts for one dataset."""
+
+    periodicity: PeriodicityReport
+    ngram: Dict[Tuple[int, int, bool], AccuracyResult]
+
+    def render(self) -> str:
+        parts: List[str] = []
+        parts.append(
+            render_table(
+                ["metric", "value"],
+                [
+                    ["periodic JSON requests", format_pct(self.periodicity.periodic_request_fraction)],
+                    ["periodic traffic upload share", format_pct(self.periodicity.periodic_upload_fraction)],
+                    ["periodic traffic uncacheable", format_pct(self.periodicity.periodic_uncacheable_fraction)],
+                    ["objects with periodic majority", format_pct(self.periodicity.majority_periodic_fraction())],
+                ],
+                title="§5.1 — periodicity",
+            )
+        )
+        histogram = self.periodicity.period_histogram(10.0)
+        if histogram:
+            parts.append(
+                render_bar_chart(
+                    [(f"{int(start)}s", count) for start, count in histogram],
+                    title="Figure 5 — object periods (10s bins)",
+                )
+            )
+        if self.ngram:
+            ks = sorted({k for _, k, _ in self.ngram})
+            ns = sorted({n for n, _, _ in self.ngram})
+            rows = []
+            for n in ns:
+                for k in ks:
+                    clustered = self.ngram.get((n, k, True))
+                    actual = self.ngram.get((n, k, False))
+                    rows.append(
+                        [
+                            n,
+                            k,
+                            f"{clustered.accuracy:.2f}" if clustered else "-",
+                            f"{actual.accuracy:.2f}" if actual else "-",
+                        ]
+                    )
+            parts.append(
+                render_table(
+                    ["N", "K", "clustered", "actual"],
+                    rows,
+                    title="Table 3 — ngram top-K accuracy",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_characterization(
+    logs: Iterable[RequestLog],
+    domain_categories: Optional[Mapping[str, str]] = None,
+) -> CharacterizationReport:
+    """Run every §4 analysis over a log collection."""
+    materialized = list(logs)
+    summary = DatasetSummary().update(materialized)
+    json_logs = [record for record in materialized if record.is_json]
+    traffic_source, request_type = characterize(json_logs, json_only=False)
+    cache_stats, heatmap = analyze_cacheability(
+        json_logs, domain_categories, json_only=False
+    )
+    sizes = analyze_sizes(materialized)
+    apps = aggregate_apps(json_logs, json_only=False)
+    return CharacterizationReport(
+        summary=summary,
+        traffic_source=traffic_source,
+        request_type=request_type,
+        cacheability=cache_stats,
+        heatmap=heatmap,
+        sizes=sizes,
+        apps=apps,
+    )
+
+
+def run_pattern_analysis(
+    logs: Iterable[RequestLog],
+    flow_filter: Optional[FlowFilter] = None,
+    detector_config: Optional[DetectorConfig] = None,
+    ngram_ns: Sequence[int] = (1,),
+    ngram_ks: Sequence[int] = (1, 5, 10),
+) -> PatternReport:
+    """Run every §5 analysis over a log collection."""
+    materialized = list(logs)
+    periodicity = analyze_logs(
+        materialized, flow_filter=flow_filter, detector_config=detector_config
+    )
+    ngram = run_table3(materialized, ns=ngram_ns, ks=ngram_ks)
+    return PatternReport(periodicity=periodicity, ngram=ngram)

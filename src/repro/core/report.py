@@ -1,0 +1,83 @@
+"""Plain-text rendering of tables and figures.
+
+Every artifact the benchmarks regenerate can be printed as an ASCII
+table/bar chart so a terminal run of the harness reads like the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["render_table", "render_bar_chart", "render_heatmap", "format_pct"]
+
+
+def format_pct(value: float, digits: int = 1) -> str:
+    """0.553 → '55.3%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    pairs: Sequence[Tuple[object, float]],
+    width: int = 40,
+    title: Optional[str] = None,
+    value_format: str = "{:.0f}",
+) -> str:
+    """Horizontal ASCII bar chart (histograms, breakdowns)."""
+    if not pairs:
+        return title or "(empty)"
+    peak = max(value for _, value in pairs) or 1.0
+    label_width = max(len(str(label)) for label, _ in pairs)
+    lines: List[str] = [title] if title else []
+    for label, value in pairs:
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    rows: Sequence[Tuple[str, Mapping[str, float]]],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Category × bucket heatmap with shade characters (Figure 4)."""
+    shades = " .:-=+*#%@"
+    label_width = max((len(name) for name, _ in rows), default=8)
+    col_width = max(max((len(c) for c in columns), default=4), 5)
+    lines: List[str] = [title] if title else []
+    header = " " * label_width + "  " + "  ".join(
+        c.rjust(col_width) for c in columns
+    )
+    lines.append(header)
+    for name, values in rows:
+        cells = []
+        for column in columns:
+            value = values.get(column, 0.0)
+            shade = shades[min(len(shades) - 1, int(value * (len(shades) - 1)))]
+            cells.append(f"{shade * 3} {value * 100:3.0f}%".rjust(col_width))
+        lines.append(name.ljust(label_width) + "  " + "  ".join(cells))
+    return "\n".join(lines)

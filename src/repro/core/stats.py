@@ -1,0 +1,40 @@
+"""Small shared statistics helpers used across analyses."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ecdf", "histogram", "relative_error", "within"]
+
+
+def ecdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF points as (value, cumulative fraction)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def histogram(
+    values: Sequence[float], bin_width: float
+) -> List[Tuple[float, int]]:
+    """Fixed-width histogram; returns non-empty (bin start, count)."""
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    counts: Dict[int, int] = {}
+    for value in values:
+        counts[int(value // bin_width)] = counts.get(int(value // bin_width), 0) + 1
+    return sorted((index * bin_width, count) for index, count in counts.items())
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured - expected| / |expected| (inf when expected is 0)."""
+    if expected == 0:
+        return float("inf") if measured != 0 else 0.0
+    return abs(measured - expected) / abs(expected)
+
+
+def within(measured: float, expected: float, tolerance: float) -> bool:
+    """Absolute-difference acceptance check used by the benchmarks."""
+    return abs(measured - expected) <= tolerance

@@ -1,0 +1,120 @@
+"""The paper's JSON traffic taxonomy (Figure 2).
+
+The taxonomy classifies each request along three axes:
+
+* **Traffic source** — who initiated the request: device type
+  (mobile / desktop / embedded / unknown), application class (browser
+  vs non-browser), and trigger (human vs machine, which §5.1 infers
+  from timing rather than headers).
+* **Request type** — upload (POST-like) vs download (GET-like).
+* **Response type** — size and cacheability.
+
+These enums are the shared vocabulary of every analysis module; keep
+them dependency-free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "DeviceType",
+    "AppClass",
+    "TriggerType",
+    "RequestKind",
+    "IndustryCategory",
+    "TrafficSource",
+]
+
+
+class DeviceType(str, enum.Enum):
+    """Device categories from the traffic-source axis (§3.2).
+
+    Embedded devices are non-mobile, non-desktop devices: game
+    consoles, IoT devices, smart TVs, smart watches, etc.  ``UNKNOWN``
+    covers missing or unidentifiable user agents.
+    """
+
+    MOBILE = "mobile"
+    DESKTOP = "desktop"
+    EMBEDDED = "embedded"
+    UNKNOWN = "unknown"
+
+
+class AppClass(str, enum.Enum):
+    """Application class of the requesting software."""
+
+    BROWSER = "browser"
+    NATIVE_APP = "native_app"
+    SDK = "sdk"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_browser(self) -> bool:
+        return self is AppClass.BROWSER
+
+
+class TriggerType(str, enum.Enum):
+    """Whether a human interaction produced the request (§3.2).
+
+    This is not observable from a single log line; §5.1 infers
+    ``MACHINE`` for flows with significant shared periodicity.
+    """
+
+    HUMAN = "human"
+    MACHINE = "machine"
+    UNKNOWN = "unknown"
+
+
+class RequestKind(str, enum.Enum):
+    """Request-type axis: uploads send data, downloads retrieve it."""
+
+    DOWNLOAD = "download"
+    UPLOAD = "upload"
+    OTHER = "other"
+
+
+class IndustryCategory(str, enum.Enum):
+    """Industry categories used in the Figure 4 cacheability heatmap.
+
+    The paper categorizes domains with a commercial service
+    (Symantec SiteReview) into 11 top categories; we enumerate the
+    categories it names plus the remaining common CDN verticals.
+    """
+
+    NEWS_MEDIA = "News/Media"
+    SPORTS = "Sports"
+    ENTERTAINMENT = "Entertainment"
+    FINANCIAL = "Financial Services"
+    STREAMING = "Streaming"
+    GAMING = "Gaming"
+    ECOMMERCE = "E-commerce"
+    SOCIAL = "Social Networking"
+    TECHNOLOGY = "Technology"
+    TRAVEL = "Travel"
+    ADVERTISING = "Advertising"
+
+
+@dataclass(frozen=True)
+class TrafficSource:
+    """Resolved traffic-source classification for one request.
+
+    ``raw_platform`` preserves the platform token the classifier
+    matched (e.g. ``"Android"``), useful for drill-downs and for
+    debugging misclassification.
+    """
+
+    device: DeviceType
+    app: AppClass
+    raw_platform: Optional[str] = None
+
+    @property
+    def is_browser(self) -> bool:
+        return self.app.is_browser
+
+    @property
+    def is_identified(self) -> bool:
+        """True when at least the device type could be determined."""
+        return self.device is not DeviceType.UNKNOWN

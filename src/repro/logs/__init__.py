@@ -1,0 +1,76 @@
+"""Edge-server request-log substrate.
+
+This package stands in for the CDN log pipeline the paper reads from:
+record types (:mod:`repro.logs.record`), schema validation
+(:mod:`repro.logs.schema`), keyed IP anonymization
+(:mod:`repro.logs.anonymize`), streaming serialization
+(:mod:`repro.logs.io`), composable filters (:mod:`repro.logs.filters`),
+and single-pass dataset summaries (:mod:`repro.logs.summary`).
+"""
+
+from .anonymize import IpAnonymizer, generate_key
+from .filters import (
+    chain_filters,
+    content_type_in,
+    domains_in,
+    html_only,
+    json_only,
+    methods_in,
+    status_class,
+    time_window,
+)
+from .partition import (
+    bucket_name,
+    iter_partition_files,
+    read_partitioned,
+    write_partitioned,
+)
+from .merge import is_time_ordered, merge_files, merge_sorted, split_by_edge
+from .io import read_jsonl, read_logs, read_tsv, write_jsonl, write_logs, write_tsv
+from .sampling import keep_fraction, sample_clients, sample_objects, sample_requests
+from .record import CacheStatus, HttpMethod, RequestLog, client_key, object_key
+from .schema import DEFAULT_SCHEMA, FieldSpec, LogSchema, SchemaError, ValidationIssue
+from .summary import DatasetSummary, summarize
+
+__all__ = [
+    "CacheStatus",
+    "HttpMethod",
+    "RequestLog",
+    "client_key",
+    "object_key",
+    "IpAnonymizer",
+    "generate_key",
+    "LogSchema",
+    "FieldSpec",
+    "SchemaError",
+    "ValidationIssue",
+    "DEFAULT_SCHEMA",
+    "read_jsonl",
+    "write_jsonl",
+    "read_tsv",
+    "write_tsv",
+    "read_logs",
+    "write_logs",
+    "json_only",
+    "html_only",
+    "content_type_in",
+    "time_window",
+    "domains_in",
+    "methods_in",
+    "status_class",
+    "chain_filters",
+    "bucket_name",
+    "write_partitioned",
+    "read_partitioned",
+    "iter_partition_files",
+    "merge_sorted",
+    "merge_files",
+    "split_by_edge",
+    "is_time_ordered",
+    "keep_fraction",
+    "sample_clients",
+    "sample_objects",
+    "sample_requests",
+    "DatasetSummary",
+    "summarize",
+]

@@ -1,0 +1,98 @@
+"""Composable streaming filters over request logs.
+
+The paper's analyses each start by slicing the dataset: JSON-only
+(§3.2), a time window (Table 2), per-domain subsets (Figure 4), flows
+above a request threshold (§5.1).  These helpers keep those slices
+lazy and composable so multi-hundred-thousand-record datasets stream
+through without copies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Set
+
+from .record import RequestLog
+
+__all__ = [
+    "json_only",
+    "html_only",
+    "content_type_in",
+    "time_window",
+    "domains_in",
+    "methods_in",
+    "status_class",
+    "chain_filters",
+    "LogFilter",
+]
+
+LogFilter = Callable[[RequestLog], bool]
+
+
+def json_only(records: Iterable[RequestLog]) -> Iterator[RequestLog]:
+    """Keep only ``application/json`` responses (the paper's filter)."""
+    return (record for record in records if record.is_json)
+
+
+def html_only(records: Iterable[RequestLog]) -> Iterator[RequestLog]:
+    """Keep only ``text/html`` responses."""
+    return (record for record in records if record.is_html)
+
+
+def content_type_in(
+    records: Iterable[RequestLog], content_types: Sequence[str]
+) -> Iterator[RequestLog]:
+    """Keep responses whose bare content type is in ``content_types``."""
+    wanted: Set[str] = {ct.strip().lower() for ct in content_types}
+    return (record for record in records if record.content_type in wanted)
+
+
+def time_window(
+    records: Iterable[RequestLog],
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> Iterator[RequestLog]:
+    """Keep records with ``start <= timestamp < end``.
+
+    Either bound may be ``None`` (unbounded on that side).
+    """
+    for record in records:
+        if start is not None and record.timestamp < start:
+            continue
+        if end is not None and record.timestamp >= end:
+            continue
+        yield record
+
+
+def domains_in(
+    records: Iterable[RequestLog], domains: Iterable[str]
+) -> Iterator[RequestLog]:
+    """Keep records for the given customer domains."""
+    wanted = set(domains)
+    return (record for record in records if record.domain in wanted)
+
+
+def methods_in(
+    records: Iterable[RequestLog], methods: Iterable[str]
+) -> Iterator[RequestLog]:
+    """Keep records whose HTTP method matches (case-insensitive)."""
+    wanted = {method.upper() for method in methods}
+    return (record for record in records if record.method.value in wanted)
+
+
+def status_class(
+    records: Iterable[RequestLog], klass: int
+) -> Iterator[RequestLog]:
+    """Keep records in an HTTP status class (2 → 2xx, 4 → 4xx, ...)."""
+    if not 1 <= klass <= 5:
+        raise ValueError("status class must be 1..5")
+    low, high = klass * 100, klass * 100 + 99
+    return (record for record in records if low <= record.status <= high)
+
+
+def chain_filters(
+    records: Iterable[RequestLog], *predicates: LogFilter
+) -> Iterator[RequestLog]:
+    """Apply arbitrary predicates in order, lazily."""
+    for record in records:
+        if all(predicate(record) for predicate in predicates):
+            yield record

@@ -1,0 +1,231 @@
+"""Streaming log serialization.
+
+Two on-disk formats are supported, both line-oriented so that datasets
+can be processed without loading them in memory:
+
+* **JSONL** — one JSON object per line; self-describing, the default.
+* **TSV** — one tab-separated row per line with a fixed column order;
+  ~2x smaller and closer to real CDN log formats.
+
+Both transparently read/write gzip when the filename ends in ``.gz``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+from .record import CacheStatus, HttpMethod, RequestLog
+
+__all__ = [
+    "read_jsonl",
+    "write_jsonl",
+    "read_tsv",
+    "write_tsv",
+    "read_logs",
+    "write_logs",
+    "TSV_COLUMNS",
+]
+
+PathLike = Union[str, Path]
+
+TSV_COLUMNS: List[str] = [
+    "timestamp",
+    "client_ip_hash",
+    "user_agent",
+    "method",
+    "domain",
+    "url",
+    "mime_type",
+    "status",
+    "response_bytes",
+    "cache_status",
+    "request_bytes",
+    "ttl_seconds",
+    "edge_id",
+]
+
+_TSV_NULL = "-"
+
+
+def _open_text(path: PathLike, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return open(path, mode + "t", encoding="utf-8")
+
+
+# -- JSONL ---------------------------------------------------------------
+
+
+def write_jsonl(records: Iterable[RequestLog], path: PathLike) -> int:
+    """Write records as JSON lines; returns the number written."""
+    count = 0
+    with _open_text(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(
+    path: PathLike, on_error: str = "raise"
+) -> Iterator[RequestLog]:
+    """Lazily yield records from a JSONL file (optionally gzipped).
+
+    ``on_error`` is ``"raise"`` (default: abort with the offending
+    line number) or ``"skip"`` (quarantine posture: corrupted lines —
+    truncated writes, partial flushes — are silently dropped, as log
+    pipelines must tolerate).
+    """
+    _check_on_error(on_error)
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield RequestLog.from_dict(json.loads(line))
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                if on_error == "skip":
+                    continue
+                raise ValueError(
+                    f"{path}: malformed JSONL record on line {line_number}: {exc}"
+                ) from exc
+
+
+# -- TSV -----------------------------------------------------------------
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\t", "\\t")
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+    )
+
+
+def _unescape(value: str) -> str:
+    out: List[str] = []
+    it = iter(value)
+    for char in it:
+        if char != "\\":
+            out.append(char)
+            continue
+        nxt = next(it, "")
+        out.append({"t": "\t", "n": "\n", "r": "\r", "\\": "\\"}.get(nxt, nxt))
+    return "".join(out)
+
+
+def _record_to_row(record: RequestLog) -> str:
+    data = record.to_dict()
+    cells: List[str] = []
+    for column in TSV_COLUMNS:
+        value = data[column]
+        if value is None:
+            cells.append(_TSV_NULL)
+        elif isinstance(value, str):
+            cells.append(_escape(value) if value else _TSV_NULL)
+        else:
+            cells.append(str(value))
+    return "\t".join(cells)
+
+
+def _row_to_record(row: str) -> RequestLog:
+    cells = row.split("\t")
+    if len(cells) != len(TSV_COLUMNS):
+        raise ValueError(
+            f"expected {len(TSV_COLUMNS)} columns, found {len(cells)}"
+        )
+    raw = dict(zip(TSV_COLUMNS, cells))
+    user_agent: Optional[str] = (
+        None if raw["user_agent"] == _TSV_NULL else _unescape(raw["user_agent"])
+    )
+    ttl: Optional[float] = (
+        None if raw["ttl_seconds"] == _TSV_NULL else float(raw["ttl_seconds"])
+    )
+    return RequestLog(
+        timestamp=float(raw["timestamp"]),
+        client_ip_hash=raw["client_ip_hash"],
+        user_agent=user_agent,
+        method=HttpMethod(raw["method"]),
+        domain=raw["domain"],
+        url=_unescape(raw["url"]),
+        mime_type=_unescape(raw["mime_type"]),
+        status=int(raw["status"]),
+        response_bytes=int(raw["response_bytes"]),
+        cache_status=CacheStatus(raw["cache_status"]),
+        request_bytes=int(raw["request_bytes"]),
+        ttl_seconds=ttl,
+        edge_id=raw["edge_id"],
+    )
+
+
+def write_tsv(records: Iterable[RequestLog], path: PathLike) -> int:
+    """Write records as a headerless TSV file; returns the count."""
+    count = 0
+    with _open_text(path, "w") as handle:
+        for record in records:
+            handle.write(_record_to_row(record))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_tsv(path: PathLike, on_error: str = "raise") -> Iterator[RequestLog]:
+    """Lazily yield records from a TSV file (optionally gzipped).
+
+    See :func:`read_jsonl` for the ``on_error`` contract.
+    """
+    _check_on_error(on_error)
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                yield _row_to_record(line)
+            except (ValueError, KeyError) as exc:
+                if on_error == "skip":
+                    continue
+                raise ValueError(
+                    f"{path}: malformed TSV record on line {line_number}: {exc}"
+                ) from exc
+
+
+# -- format dispatch -----------------------------------------------------
+
+
+def _detect_format(path: PathLike) -> str:
+    name = Path(path).name
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    if name.endswith(".jsonl"):
+        return "jsonl"
+    if name.endswith(".tsv"):
+        return "tsv"
+    raise ValueError(f"cannot infer log format from filename: {path!r}")
+
+
+def write_logs(records: Iterable[RequestLog], path: PathLike) -> int:
+    """Write records, picking the format from the file extension."""
+    if _detect_format(path) == "jsonl":
+        return write_jsonl(records, path)
+    return write_tsv(records, path)
+
+
+def read_logs(path: PathLike, on_error: str = "raise") -> Iterator[RequestLog]:
+    """Read records, picking the format from the file extension."""
+    if _detect_format(path) == "jsonl":
+        return read_jsonl(path, on_error=on_error)
+    return read_tsv(path, on_error=on_error)
+
+
+def _check_on_error(on_error: str) -> None:
+    if on_error not in ("raise", "skip"):
+        raise ValueError("on_error must be 'raise' or 'skip'")

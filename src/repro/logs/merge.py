@@ -1,0 +1,65 @@
+"""Log-stream merging and splitting utilities.
+
+CDN datasets arrive as one file per edge machine (the paper collects
+"from all machines in three CDN vantage points").  Analyses need one
+time-ordered stream; collection needs the reverse.  Both directions
+here are streaming: :func:`merge_sorted` is a k-way heap merge over
+lazily-read inputs, so terabyte-scale collections would stream in
+O(k) memory.
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Union
+
+from .io import PathLike, read_logs, write_logs
+from .record import RequestLog
+
+__all__ = ["merge_sorted", "merge_files", "split_by_edge", "is_time_ordered"]
+
+
+def merge_sorted(
+    streams: Sequence[Iterable[RequestLog]],
+) -> Iterator[RequestLog]:
+    """K-way merge of time-ordered log streams into one stream.
+
+    Each input must itself be time-ordered (as per-edge logs are);
+    the output is globally time-ordered.  Ties preserve input order.
+    """
+    def keyed(index: int, stream: Iterable[RequestLog]):
+        for position, record in enumerate(stream):
+            yield (record.timestamp, index, position, record)
+
+    merged = heapq.merge(
+        *(keyed(index, stream) for index, stream in enumerate(streams))
+    )
+    for _, _, _, record in merged:
+        yield record
+
+
+def merge_files(paths: Sequence[PathLike], out_path: PathLike) -> int:
+    """Merge per-edge log files into one time-ordered file."""
+    streams = [read_logs(path) for path in paths]
+    return write_logs(merge_sorted(streams), out_path)
+
+
+def split_by_edge(
+    logs: Iterable[RequestLog],
+) -> Dict[str, List[RequestLog]]:
+    """Partition a stream by serving edge (the collection inverse)."""
+    out: Dict[str, List[RequestLog]] = {}
+    for record in logs:
+        out.setdefault(record.edge_id, []).append(record)
+    return out
+
+
+def is_time_ordered(logs: Iterable[RequestLog]) -> bool:
+    """Whether a stream is non-decreasing in timestamp."""
+    previous = float("-inf")
+    for record in logs:
+        if record.timestamp < previous:
+            return False
+        previous = record.timestamp
+    return True

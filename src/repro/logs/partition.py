@@ -1,0 +1,113 @@
+"""Time-partitioned log storage.
+
+Production log pipelines store request logs as one file per time
+bucket per edge (``edge-1/2019-06-01-14.jsonl.gz`` …), not as one
+giant file.  This module writes a log stream into that layout and
+reads it back as one time-ordered stream, so the analysis code can
+work against a directory exactly as it works against a file.
+
+Layout::
+
+    <root>/<edge_id>/<bucket>.<ext>
+
+where ``bucket`` is the UTC hour (``YYYY-mm-dd-HH``) of the records
+inside.  Readers merge across edges with the streaming k-way merge.
+"""
+
+from __future__ import annotations
+
+import datetime
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .io import PathLike, read_logs, write_logs
+from .merge import merge_sorted
+from .record import RequestLog
+
+__all__ = [
+    "bucket_name",
+    "write_partitioned",
+    "iter_partition_files",
+    "read_partitioned",
+]
+
+
+def bucket_name(timestamp: float) -> str:
+    """UTC-hour bucket for a timestamp: ``2019-06-01-14``."""
+    moment = datetime.datetime.fromtimestamp(
+        timestamp, tz=datetime.timezone.utc
+    )
+    return moment.strftime("%Y-%m-%d-%H")
+
+
+def write_partitioned(
+    logs: Iterable[RequestLog],
+    root: PathLike,
+    fmt: str = "jsonl.gz",
+) -> Dict[str, int]:
+    """Write a log stream into the per-edge, per-hour layout.
+
+    Records are grouped in memory per (edge, bucket) before writing —
+    fine for dataset-scale logs; a production writer would append.
+    Returns a mapping of relative file path → record count.
+    """
+    if fmt not in ("jsonl", "jsonl.gz", "tsv", "tsv.gz"):
+        raise ValueError(f"unsupported partition format: {fmt!r}")
+    root = Path(root)
+    groups: Dict[Tuple[str, str], List[RequestLog]] = {}
+    for record in logs:
+        key = (record.edge_id, bucket_name(record.timestamp))
+        groups.setdefault(key, []).append(record)
+
+    written: Dict[str, int] = {}
+    for (edge_id, bucket), records in sorted(groups.items()):
+        directory = root / edge_id
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{bucket}.{fmt}"
+        records.sort(key=lambda record: record.timestamp)
+        written[str(path.relative_to(root))] = write_logs(records, path)
+    return written
+
+
+def iter_partition_files(
+    root: PathLike, edge_id: Optional[str] = None
+) -> List[Path]:
+    """Partition files under ``root``, bucket-ordered per edge."""
+    root = Path(root)
+    if not root.exists():
+        raise FileNotFoundError(f"no partition root at {root}")
+    edges = (
+        [root / edge_id]
+        if edge_id is not None
+        else sorted(p for p in root.iterdir() if p.is_dir())
+    )
+    files: List[Path] = []
+    for directory in edges:
+        if not directory.exists():
+            raise FileNotFoundError(f"no such edge partition: {directory}")
+        files.extend(sorted(directory.iterdir()))
+    return files
+
+
+def read_partitioned(
+    root: PathLike,
+    edge_id: Optional[str] = None,
+    on_error: str = "raise",
+) -> Iterator[RequestLog]:
+    """Read a partitioned layout back as one time-ordered stream.
+
+    Each edge's hour files concatenate into one time-ordered stream
+    (hours are disjoint and internally sorted); streams from
+    different edges are k-way merged.
+    """
+    root = Path(root)
+    per_edge: Dict[str, List[Path]] = {}
+    for path in iter_partition_files(root, edge_id):
+        per_edge.setdefault(path.parent.name, []).append(path)
+
+    def edge_stream(paths: List[Path]) -> Iterator[RequestLog]:
+        for path in paths:
+            yield from read_logs(path, on_error=on_error)
+
+    streams = [edge_stream(paths) for paths in per_edge.values()]
+    return merge_sorted(streams)

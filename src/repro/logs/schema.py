@@ -1,0 +1,199 @@
+"""Log schema definition and validation.
+
+A dataset is only useful if malformed rows are caught at the boundary
+rather than deep inside an analysis.  :class:`LogSchema` centralizes
+the field-level contracts of :class:`repro.logs.record.RequestLog` and
+offers both strict (raise) and lenient (collect) validation modes, the
+latter matching how real log pipelines quarantine bad rows instead of
+aborting a whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from .record import CacheStatus, HttpMethod, RequestLog
+
+__all__ = ["FieldSpec", "LogSchema", "SchemaError", "ValidationIssue"]
+
+
+class SchemaError(ValueError):
+    """Raised in strict mode when a record violates the schema."""
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single schema violation found in a record.
+
+    Attributes
+    ----------
+    field:
+        Name of the offending field.
+    message:
+        Human-readable description of the violation.
+    value:
+        The offending value (repr-truncated for giant values).
+    """
+
+    field: str
+    message: str
+    value: Any = None
+
+    def __str__(self) -> str:
+        shown = repr(self.value)
+        if len(shown) > 80:
+            shown = shown[:77] + "..."
+        return f"{self.field}: {self.message} (got {shown})"
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Contract for one log field."""
+
+    name: str
+    types: Tuple[type, ...]
+    required: bool = True
+    check: Optional[Callable[[Any], Optional[str]]] = None
+
+    def validate(self, value: Any) -> List[ValidationIssue]:
+        """Return the issues this value raises (empty when valid)."""
+        issues: List[ValidationIssue] = []
+        if value is None:
+            if self.required:
+                issues.append(ValidationIssue(self.name, "required field is None"))
+            return issues
+        if not isinstance(value, self.types):
+            expected = "/".join(t.__name__ for t in self.types)
+            issues.append(
+                ValidationIssue(self.name, f"expected {expected}", value)
+            )
+            return issues
+        if self.check is not None:
+            message = self.check(value)
+            if message:
+                issues.append(ValidationIssue(self.name, message, value))
+        return issues
+
+
+def _check_timestamp(value: float) -> Optional[str]:
+    if value < 0:
+        return "timestamp must be non-negative epoch seconds"
+    return None
+
+
+def _check_status(value: int) -> Optional[str]:
+    if not 100 <= value <= 599:
+        return "status must be a valid HTTP status code"
+    return None
+
+
+def _check_non_negative(value: float) -> Optional[str]:
+    if value < 0:
+        return "must be non-negative"
+    return None
+
+
+def _check_non_empty(value: str) -> Optional[str]:
+    if not value:
+        return "must be non-empty"
+    return None
+
+
+def _check_url(value: str) -> Optional[str]:
+    if not value.startswith("/"):
+        return "url must be an absolute path starting with '/'"
+    if any(c in value for c in ("\n", "\r", "\t", " ")):
+        return "url must not contain whitespace"
+    return None
+
+
+def _check_mime(value: str) -> Optional[str]:
+    bare = value.split(";", 1)[0].strip()
+    if "/" not in bare:
+        return "mime type must look like type/subtype"
+    return None
+
+
+class LogSchema:
+    """The canonical edge-log schema.
+
+    Use :meth:`validate_record` for one row and :meth:`clean` to
+    stream-filter a whole dataset, separating valid records from
+    quarantined ones.
+    """
+
+    def __init__(self) -> None:
+        self.fields: Dict[str, FieldSpec] = {
+            spec.name: spec
+            for spec in (
+                FieldSpec("timestamp", (float, int), check=_check_timestamp),
+                FieldSpec("client_ip_hash", (str,), check=_check_non_empty),
+                FieldSpec("user_agent", (str,), required=False),
+                FieldSpec("method", (HttpMethod,)),
+                FieldSpec("domain", (str,), check=_check_non_empty),
+                FieldSpec("url", (str,), check=_check_url),
+                FieldSpec("mime_type", (str,), check=_check_mime),
+                FieldSpec("status", (int,), check=_check_status),
+                FieldSpec("response_bytes", (int,), check=_check_non_negative),
+                FieldSpec("cache_status", (CacheStatus,)),
+                FieldSpec("request_bytes", (int,), check=_check_non_negative),
+                FieldSpec("ttl_seconds", (float, int), required=False,
+                          check=_check_non_negative),
+                FieldSpec("edge_id", (str,), check=_check_non_empty),
+            )
+        }
+
+    def validate_record(self, record: RequestLog) -> List[ValidationIssue]:
+        """Return all schema issues in ``record`` (empty when valid)."""
+        issues: List[ValidationIssue] = []
+        for name, spec in self.fields.items():
+            issues.extend(spec.validate(getattr(record, name)))
+        # Cross-field invariants.
+        if record.cache_status is CacheStatus.NO_STORE and record.ttl_seconds:
+            issues.append(
+                ValidationIssue(
+                    "ttl_seconds",
+                    "uncacheable responses must not carry a TTL",
+                    record.ttl_seconds,
+                )
+            )
+        if record.method is HttpMethod.GET and record.request_bytes:
+            issues.append(
+                ValidationIssue(
+                    "request_bytes",
+                    "GET requests must not carry a request body",
+                    record.request_bytes,
+                )
+            )
+        return issues
+
+    def require_valid(self, record: RequestLog) -> RequestLog:
+        """Strict mode: raise :class:`SchemaError` on the first bad field."""
+        issues = self.validate_record(record)
+        if issues:
+            raise SchemaError("; ".join(str(issue) for issue in issues))
+        return record
+
+    def clean(
+        self, records: Iterable[RequestLog]
+    ) -> Tuple[List[RequestLog], List[Tuple[RequestLog, List[ValidationIssue]]]]:
+        """Split a dataset into (valid, quarantined) records."""
+        valid: List[RequestLog] = []
+        quarantined: List[Tuple[RequestLog, List[ValidationIssue]]] = []
+        for record in records:
+            issues = self.validate_record(record)
+            if issues:
+                quarantined.append((record, issues))
+            else:
+                valid.append(record)
+        return valid, quarantined
+
+    def iter_valid(self, records: Iterable[RequestLog]) -> Iterator[RequestLog]:
+        """Lazily yield only schema-valid records."""
+        for record in records:
+            if not self.validate_record(record):
+                yield record
+
+
+DEFAULT_SCHEMA = LogSchema()

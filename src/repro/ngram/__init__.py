@@ -1,0 +1,37 @@
+"""Request prediction (§5.2): URL tokenization and clustering, the
+backoff ngram model, and the Table 3 evaluation harness.
+"""
+
+from .baseline import PerClientRecencyPredictor, PopularityPredictor
+from .clustering import UrlClusterer, cluster_segment, cluster_url
+from .evaluate import (
+    AccuracyResult,
+    build_client_sequences,
+    build_timed_client_sequences,
+    evaluate_topk,
+    run_table3,
+    split_clients,
+)
+from .model import BackoffNgramModel
+from .timing import GapStats, TimedNgramModel, TimedPrediction
+from .tokenize import TokenizedUrl, tokenize_url
+
+__all__ = [
+    "TokenizedUrl",
+    "tokenize_url",
+    "cluster_segment",
+    "cluster_url",
+    "UrlClusterer",
+    "BackoffNgramModel",
+    "PopularityPredictor",
+    "PerClientRecencyPredictor",
+    "TimedNgramModel",
+    "TimedPrediction",
+    "GapStats",
+    "build_timed_client_sequences",
+    "build_client_sequences",
+    "split_clients",
+    "AccuracyResult",
+    "evaluate_topk",
+    "run_table3",
+]

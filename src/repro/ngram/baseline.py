@@ -1,0 +1,76 @@
+"""Baseline predictors for the Table 3 comparison.
+
+The ngram model "takes into account the popularity of highly
+requested items, unlike standard program analysis" (§5.2).  To show
+what the *transition structure* adds beyond popularity alone, this
+module provides the natural baselines:
+
+* :class:`PopularityPredictor` — always predict the globally
+  most-requested objects, ignoring history entirely;
+* :class:`PerClientRecencyPredictor` — predict the objects this
+  client requested most recently (an LRU guess).
+
+Both expose the same ``predict(history, k)`` interface as
+:class:`repro.ngram.model.BackoffNgramModel`, so
+:func:`repro.ngram.evaluate.evaluate_topk` scores them unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Sequence
+
+__all__ = ["PopularityPredictor", "PerClientRecencyPredictor"]
+
+
+class PopularityPredictor:
+    """History-blind global-popularity baseline."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self._top_cache: List[str] = []
+
+    def fit(self, sequences: Iterable[Sequence[str]]) -> "PopularityPredictor":
+        for sequence in sequences:
+            self._counts.update(sequence)
+        self._top_cache = [token for token, _ in self._counts.most_common()]
+        return self
+
+    def add_sequence(self, sequence: Sequence[str]) -> None:
+        self._counts.update(sequence)
+        self._top_cache = [token for token, _ in self._counts.most_common()]
+
+    def predict(self, history: Sequence[str], k: int = 1) -> List[str]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self._top_cache[:k]
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._counts)
+
+
+class PerClientRecencyPredictor:
+    """Predict a client's most recent distinct requests (LRU guess).
+
+    Stateless across flows: the "history" given at prediction time is
+    the recency signal, so this baseline needs no training at all —
+    it measures how far self-similarity alone goes.
+    """
+
+    def __init__(self) -> None:
+        self.trained = True  # interface parity; nothing to fit
+
+    def fit(self, sequences: Iterable[Sequence[str]]) -> "PerClientRecencyPredictor":
+        return self
+
+    def predict(self, history: Sequence[str], k: int = 1) -> List[str]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        out: List[str] = []
+        for token in reversed(list(history)):
+            if token not in out:
+                out.append(token)
+            if len(out) >= k:
+                break
+        return out

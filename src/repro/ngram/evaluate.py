@@ -1,0 +1,202 @@
+"""Ngram evaluation harness: the Table 3 methodology.
+
+§5.2: split the JSON dataset *by unique clients* into training and
+testing sets; build per-client request flows; train on the training
+clients' transitions; measure top-K next-URL accuracy on the test
+clients, for raw and clustered URLs.  Cookies and request bodies are
+never used — the URL is the whole feature, as in the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..logs.record import RequestLog
+from .clustering import UrlClusterer
+from .model import BackoffNgramModel
+
+__all__ = [
+    "build_client_sequences",
+    "build_timed_client_sequences",
+    "split_clients",
+    "AccuracyResult",
+    "evaluate_topk",
+    "accuracy_by_position",
+    "run_table3",
+]
+
+
+def build_client_sequences(
+    logs: Iterable[RequestLog],
+    clustered: bool = False,
+    json_only: bool = True,
+    include_domain: bool = True,
+) -> Dict[str, List[str]]:
+    """Per-client, time-ordered request-token sequences.
+
+    Tokens are ``domain + url`` (a URL only makes sense per customer)
+    with optional clustering applied to the URL part.
+    """
+    clusterer = UrlClusterer() if clustered else None
+    buffered: Dict[str, List[Tuple[float, str]]] = {}
+    for record in logs:
+        if json_only and not record.is_json:
+            continue
+        url = clusterer(record.url) if clusterer else record.url
+        token = f"{record.domain}{url}" if include_domain else url
+        buffered.setdefault(record.client_id, []).append(
+            (record.timestamp, token)
+        )
+    return {
+        client: [token for _, token in sorted(entries)]
+        for client, entries in buffered.items()
+    }
+
+
+def build_timed_client_sequences(
+    logs: Iterable[RequestLog],
+    clustered: bool = False,
+    json_only: bool = True,
+) -> Dict[str, List[Tuple[float, str]]]:
+    """Per-client (timestamp, token) sequences for timing-aware models."""
+    clusterer = UrlClusterer() if clustered else None
+    buffered: Dict[str, List[Tuple[float, str]]] = {}
+    for record in logs:
+        if json_only and not record.is_json:
+            continue
+        url = clusterer(record.url) if clusterer else record.url
+        buffered.setdefault(record.client_id, []).append(
+            (record.timestamp, f"{record.domain}{url}")
+        )
+    return {client: sorted(entries) for client, entries in buffered.items()}
+
+
+def split_clients(
+    client_ids: Iterable[str], test_fraction: float = 0.25, seed: int = 0
+) -> Tuple[List[str], List[str]]:
+    """Deterministic client-level train/test split.
+
+    Uses a keyed hash of the client id rather than ``random`` so the
+    split is stable across runs and independent of iteration order.
+    """
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    train: List[str] = []
+    test: List[str] = []
+    threshold = int(test_fraction * 2**32)
+    for client_id in client_ids:
+        digest = hashlib.sha256(f"{seed}:{client_id}".encode()).digest()
+        bucket = int.from_bytes(digest[:4], "big")
+        (test if bucket < threshold else train).append(client_id)
+    return train, test
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Top-K accuracy of one (N, K) configuration."""
+
+    n: int
+    k: int
+    clustered: bool
+    correct: int
+    total: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+def evaluate_topk(
+    model: BackoffNgramModel,
+    test_sequences: Iterable[Sequence[str]],
+    n: int,
+    ks: Sequence[int],
+    clustered: bool = False,
+) -> List[AccuracyResult]:
+    """Top-K accuracy over test flows, one pass for all K.
+
+    For every position in every test flow (with at least one token of
+    history), predict from the previous ``n`` tokens and check whether
+    the true next request appears in the top-K list.
+    """
+    max_k = max(ks)
+    correct = {k: 0 for k in ks}
+    total = 0
+    for sequence in test_sequences:
+        for position in range(1, len(sequence)):
+            history = sequence[max(0, position - n) : position]
+            predictions = model.predict(history, k=max_k)
+            truth = sequence[position]
+            total += 1
+            if truth in predictions:
+                rank = predictions.index(truth)
+                for k in ks:
+                    if rank < k:
+                        correct[k] += 1
+    return [
+        AccuracyResult(n=n, k=k, clustered=clustered, correct=correct[k],
+                       total=total)
+        for k in sorted(ks)
+    ]
+
+
+def accuracy_by_position(
+    model: BackoffNgramModel,
+    test_sequences: Iterable[Sequence[str]],
+    n: int = 1,
+    k: int = 10,
+    max_position: int = 10,
+) -> List[AccuracyResult]:
+    """Top-K accuracy broken down by position within the flow.
+
+    Early-session requests (config, home manifest) are structurally
+    forced and predict almost perfectly; deep-session content choices
+    are where prediction earns its keep.  Position ``max_position``
+    aggregates everything at or beyond it.
+    """
+    correct = [0] * (max_position + 1)
+    totals = [0] * (max_position + 1)
+    for sequence in test_sequences:
+        for position in range(1, len(sequence)):
+            bucket = min(position, max_position)
+            history = sequence[max(0, position - n) : position]
+            predictions = model.predict(history, k=k)
+            totals[bucket] += 1
+            if sequence[position] in predictions:
+                correct[bucket] += 1
+    return [
+        AccuracyResult(n=n, k=k, clustered=False, correct=correct[bucket],
+                       total=totals[bucket])
+        for bucket in range(1, max_position + 1)
+        if totals[bucket]
+    ]
+
+
+def run_table3(
+    logs: Sequence[RequestLog],
+    ns: Sequence[int] = (1,),
+    ks: Sequence[int] = (1, 5, 10),
+    test_fraction: float = 0.25,
+    seed: int = 0,
+    model_order: Optional[int] = None,
+) -> Dict[Tuple[int, int, bool], AccuracyResult]:
+    """The full Table 3 sweep: raw and clustered URLs, all (N, K).
+
+    Returns a mapping ``(n, k, clustered) → AccuracyResult``.
+    """
+    results: Dict[Tuple[int, int, bool], AccuracyResult] = {}
+    for clustered in (False, True):
+        sequences = build_client_sequences(logs, clustered=clustered)
+        train_ids, test_ids = split_clients(
+            sequences, test_fraction=test_fraction, seed=seed
+        )
+        order = model_order if model_order is not None else max(ns)
+        model = BackoffNgramModel(order=order)
+        model.fit(sequences[cid] for cid in train_ids)
+        test_flows = [sequences[cid] for cid in test_ids]
+        for n in ns:
+            for result in evaluate_topk(model, test_flows, n, ks, clustered):
+                results[(n, result.k, clustered)] = result
+    return results

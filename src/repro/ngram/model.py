@@ -1,0 +1,144 @@
+"""Backoff ngram model over request sequences (§5.2).
+
+The model captures "transition probabilities from a subsequence of
+previously requested objects to the next request in the client flow".
+Prediction uses *stupid backoff* [Brants et al.]: try the longest
+available history; when it was never seen (or to fill out a top-K
+list), back off to shorter histories with a fixed discount.  For a
+top-K ranking task the discount only orders candidates across backoff
+levels; it does not need to be a normalized probability.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["BackoffNgramModel"]
+
+History = Tuple[str, ...]
+
+
+class BackoffNgramModel:
+    """Order-N stupid-backoff ngram model.
+
+    Parameters
+    ----------
+    order:
+        Maximum history length N (an ``(N+1)``-gram model).
+    backoff_discount:
+        Multiplicative penalty per backoff level (0 < d <= 1).
+
+    Examples
+    --------
+    >>> model = BackoffNgramModel(order=1)
+    >>> model.fit([["a", "b", "a", "b", "c"]])
+    >>> model.predict(["a"], k=1)
+    ['b']
+    """
+
+    def __init__(self, order: int = 1, backoff_discount: float = 0.4) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if not 0 < backoff_discount <= 1:
+            raise ValueError("backoff_discount must be in (0, 1]")
+        self.order = order
+        self.backoff_discount = backoff_discount
+        #: history tuple (len 0..order) → Counter of successors.
+        self._transitions: Dict[History, Counter] = defaultdict(Counter)
+        #: total successor count per history, for normalization.
+        self._totals: Dict[History, int] = defaultdict(int)
+        self.trained_sequences = 0
+        self.trained_tokens = 0
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, sequences: Iterable[Sequence[str]]) -> "BackoffNgramModel":
+        """Count transitions from an iterable of request sequences."""
+        for sequence in sequences:
+            self.add_sequence(sequence)
+        return self
+
+    def add_sequence(self, sequence: Sequence[str]) -> None:
+        """Fold one client flow into the counts (incremental)."""
+        length = len(sequence)
+        if length < 2:
+            return
+        self.trained_sequences += 1
+        self.trained_tokens += length
+        for position in range(1, length):
+            successor = sequence[position]
+            max_history = min(self.order, position)
+            for width in range(0, max_history + 1):
+                history: History = tuple(
+                    sequence[position - width : position]
+                )
+                self._transitions[history][successor] += 1
+                self._totals[history] += 1
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, history: Sequence[str], k: int = 1) -> List[str]:
+        """Top-K successors for a history, most probable first.
+
+        Backoff levels are consulted longest-first; candidates from
+        shorter histories fill remaining slots (discounted, so they
+        never outrank same-level candidates already taken).
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        scored = self.scored_predictions(history, k)
+        return [token for token, _ in scored]
+
+    def scored_predictions(
+        self, history: Sequence[str], k: int = 1
+    ) -> List[Tuple[str, float]]:
+        """Top-K (successor, score) pairs; scores are backoff-weighted
+        relative frequencies (comparable within one query only)."""
+        trimmed = tuple(history[-self.order :]) if history else ()
+        results: List[Tuple[str, float]] = []
+        seen: set = set()
+        discount = 1.0
+        for width in range(len(trimmed), -1, -1):
+            key = trimmed[len(trimmed) - width :]
+            counter = self._transitions.get(key)
+            if counter:
+                total = self._totals[key]
+                for token, count in counter.most_common():
+                    if token in seen:
+                        continue
+                    seen.add(token)
+                    results.append((token, discount * count / total))
+                    if len(results) >= k:
+                        return results
+            discount *= self.backoff_discount
+        return results
+
+    def probability(self, history: Sequence[str], successor: str) -> float:
+        """Stupid-backoff score of one successor (not normalized)."""
+        trimmed = tuple(history[-self.order :]) if history else ()
+        discount = 1.0
+        for width in range(len(trimmed), -1, -1):
+            key = trimmed[len(trimmed) - width :]
+            counter = self._transitions.get(key)
+            if counter and successor in counter:
+                return discount * counter[successor] / self._totals[key]
+            discount *= self.backoff_discount
+        return 0.0
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._transitions.get((), ()))
+
+    def context_count(self) -> int:
+        """Number of distinct histories with observed successors."""
+        return len(self._transitions)
+
+    def successors(self, history: Sequence[str]) -> Mapping[str, int]:
+        """Raw successor counts for an exact history (no backoff)."""
+        return dict(
+            self._transitions.get(tuple(history[-self.order :]), Counter())
+        )

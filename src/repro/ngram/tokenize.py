@@ -1,0 +1,53 @@
+"""URL tokenization for the prediction models.
+
+Splits object URLs into structural parts (path segments, query
+arguments) so the clustering rules can operate on typed pieces rather
+than raw strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TokenizedUrl", "tokenize_url"]
+
+
+@dataclass(frozen=True)
+class TokenizedUrl:
+    """Structural decomposition of a URL path+query."""
+
+    path_segments: Tuple[str, ...]
+    #: Query arguments in original order.
+    query_args: Tuple[Tuple[str, str], ...]
+
+    def render(self) -> str:
+        """Reassemble the URL string."""
+        path = "/" + "/".join(self.path_segments)
+        if not self.query_args:
+            return path
+        query = "&".join(
+            f"{key}={value}" if value != "" else key
+            for key, value in self.query_args
+        )
+        return f"{path}?{query}"
+
+
+def tokenize_url(url: str) -> TokenizedUrl:
+    """Decompose ``/a/b/c?x=1&y=2`` into segments and arguments.
+
+    Tolerant of missing leading slash, empty segments, bare query
+    keys, and fragments (which are stripped: clients do not send them
+    to servers).
+    """
+    url, _, _ = url.partition("#")
+    path, _, query = url.partition("?")
+    segments = tuple(segment for segment in path.split("/") if segment)
+    args: List[Tuple[str, str]] = []
+    if query:
+        for piece in query.split("&"):
+            if not piece:
+                continue
+            key, sep, value = piece.partition("=")
+            args.append((key, value if sep else ""))
+    return TokenizedUrl(path_segments=segments, query_args=tuple(args))

@@ -1,0 +1,42 @@
+"""Periodicity mining (§5.1): flows, two-domain detection with
+permutation thresholds, and dataset-level aggregation.
+"""
+
+from .autocorr import acf_local_peak, acf_peak, autocorrelation, bin_series
+from .detector import DetectedPeriod, DetectorConfig, PeriodDetector
+from .multiperiod import MultiPeriodDetector, PeriodComponent
+from .phase import PhaseProfile, object_phase_profile, phase_coherence
+from .flows import ClientObjectFlow, FlowFilter, ObjectFlow, extract_flows
+from .results import (
+    ObjectPeriodicity,
+    PeriodicityReport,
+    analyze_flows,
+    analyze_logs,
+)
+from .spectrum import dominant_frequencies, frequency_to_period_bins, periodogram
+
+__all__ = [
+    "bin_series",
+    "autocorrelation",
+    "acf_peak",
+    "acf_local_peak",
+    "periodogram",
+    "dominant_frequencies",
+    "frequency_to_period_bins",
+    "DetectorConfig",
+    "DetectedPeriod",
+    "PeriodDetector",
+    "MultiPeriodDetector",
+    "PhaseProfile",
+    "object_phase_profile",
+    "phase_coherence",
+    "PeriodComponent",
+    "ClientObjectFlow",
+    "ObjectFlow",
+    "FlowFilter",
+    "extract_flows",
+    "ObjectPeriodicity",
+    "PeriodicityReport",
+    "analyze_flows",
+    "analyze_logs",
+]

@@ -1,0 +1,131 @@
+"""Flow extraction (§5.1).
+
+The paper defines:
+
+* an **object flow** — the sequence of requests made by *all* clients
+  to a specific object (unique URL);
+* a **client-object flow** (CO_flow) — the subsequence from one
+  client, identified by the (user agent, anonymized IP) pair.
+
+and filters out client-object flows with fewer than 10 requests and
+object flows with fewer than 10 clients.  This module builds those
+flows from a log stream in one pass, carrying along the method and
+cacheability tallies needed for the §5.1 result that periodic traffic
+is 56.2% uncacheable and 78% upload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..logs.record import RequestLog
+
+__all__ = ["ClientObjectFlow", "ObjectFlow", "FlowFilter", "extract_flows"]
+
+
+@dataclass
+class ClientObjectFlow:
+    """One client's request subsequence to one object."""
+
+    object_id: str
+    client_id: str
+    timestamps: np.ndarray  # sorted, seconds
+    upload_count: int = 0
+    uncacheable_count: int = 0
+
+    @property
+    def request_count(self) -> int:
+        return int(self.timestamps.size)
+
+    @property
+    def span_seconds(self) -> float:
+        if self.timestamps.size < 2:
+            return 0.0
+        return float(self.timestamps[-1] - self.timestamps[0])
+
+
+@dataclass
+class ObjectFlow:
+    """All requests to one object, with per-client breakdown."""
+
+    object_id: str
+    client_flows: Dict[str, ClientObjectFlow] = field(default_factory=dict)
+
+    @property
+    def client_count(self) -> int:
+        return len(self.client_flows)
+
+    @property
+    def request_count(self) -> int:
+        return sum(flow.request_count for flow in self.client_flows.values())
+
+    def merged_timestamps(self) -> np.ndarray:
+        """All clients' timestamps merged and sorted (the object flow)."""
+        if not self.client_flows:
+            return np.empty(0)
+        return np.sort(
+            np.concatenate(
+                [flow.timestamps for flow in self.client_flows.values()]
+            )
+        )
+
+
+@dataclass(frozen=True)
+class FlowFilter:
+    """The paper's §5.1 significance filters."""
+
+    min_requests_per_client_flow: int = 10
+    min_clients_per_object_flow: int = 10
+    json_only: bool = True
+
+
+def extract_flows(
+    logs: Iterable[RequestLog],
+    flow_filter: Optional[FlowFilter] = None,
+) -> Dict[str, ObjectFlow]:
+    """Build filtered object flows from a log stream.
+
+    Returns a mapping of object id → :class:`ObjectFlow` containing
+    only flows that pass both filters.  Client flows below the request
+    threshold are dropped *before* the object-level client count is
+    applied, mirroring the paper's order (a client that touched an
+    object twice does not make the object "popular").
+    """
+    criteria = flow_filter or FlowFilter()
+    raw: Dict[Tuple[str, str], List[float]] = {}
+    uploads: Dict[Tuple[str, str], int] = {}
+    uncacheable: Dict[Tuple[str, str], int] = {}
+
+    for record in logs:
+        if criteria.json_only and not record.is_json:
+            continue
+        key = (record.object_id, record.client_id)
+        raw.setdefault(key, []).append(record.timestamp)
+        if record.is_upload:
+            uploads[key] = uploads.get(key, 0) + 1
+        if not record.cacheable:
+            uncacheable[key] = uncacheable.get(key, 0) + 1
+
+    objects: Dict[str, ObjectFlow] = {}
+    for (object_id, client_id), times in raw.items():
+        if len(times) < criteria.min_requests_per_client_flow:
+            continue
+        flow = ClientObjectFlow(
+            object_id=object_id,
+            client_id=client_id,
+            timestamps=np.sort(np.asarray(times, dtype=np.float64)),
+            upload_count=uploads.get((object_id, client_id), 0),
+            uncacheable_count=uncacheable.get((object_id, client_id), 0),
+        )
+        objects.setdefault(object_id, ObjectFlow(object_id)).client_flows[
+            client_id
+        ] = flow
+
+    return {
+        object_id: flow
+        for object_id, flow in objects.items()
+        if flow.client_count >= criteria.min_clients_per_object_flow
+    }

@@ -1,0 +1,126 @@
+"""Multi-period detection — the paper's §5.1 future work.
+
+The paper's algorithm "either returns the most significant period ...
+or no period for the flow" and explicitly assumes one period per
+flow, leaving multi-period analysis open.  Real flows can carry
+several timers at once: an app polling scores every 30 s while its
+telemetry batcher fires every 10 min, both against the same API host.
+
+This module detects multiple periods by *iterative comb subtraction*:
+
+1. run the single-period detector;
+2. estimate the detected timer's phase, and peel off the events that
+   lie on that comb (within a jitter window);
+3. recurse on the residual events until no significant period
+   remains or ``max_periods`` is reached.
+
+Peeling in the *event* domain (rather than notch-filtering the
+spectrum) keeps the residual a genuine point process, so the
+permutation thresholds of the inner detector remain valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .detector import DetectedPeriod, DetectorConfig, PeriodDetector
+
+__all__ = ["PeriodComponent", "MultiPeriodDetector"]
+
+
+@dataclass(frozen=True)
+class PeriodComponent:
+    """One timer found in a flow."""
+
+    detection: DetectedPeriod
+    #: Events attributed to this timer.
+    event_count: int
+    #: Estimated phase offset of the comb (seconds past flow start).
+    phase_s: float
+
+    @property
+    def period_s(self) -> float:
+        return self.detection.period_s
+
+
+class MultiPeriodDetector:
+    """Finds up to ``max_periods`` timers in one event flow.
+
+    Parameters
+    ----------
+    config:
+        Inner single-period detector configuration.
+    max_periods:
+        Upper bound on components to extract.
+    jitter_window_s:
+        Half-width of the comb when peeling events; should cover the
+        timer jitter (the §5.1 sampling argument suggests ~1 s).
+    min_comb_share:
+        A detected comb must claim at least this share of the
+        remaining events to be accepted — a guard against peeling
+        accidental alignments.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        max_periods: int = 3,
+        jitter_window_s: float = 1.5,
+        min_comb_share: float = 0.15,
+    ) -> None:
+        if max_periods < 1:
+            raise ValueError("max_periods must be >= 1")
+        self._detector = PeriodDetector(config)
+        self.max_periods = max_periods
+        self.jitter_window_s = jitter_window_s
+        self.min_comb_share = min_comb_share
+
+    def detect(self, timestamps: np.ndarray) -> List[PeriodComponent]:
+        """Extract period components, strongest first."""
+        remaining = np.sort(np.asarray(timestamps, dtype=np.float64))
+        components: List[PeriodComponent] = []
+        for _ in range(self.max_periods):
+            if remaining.size < self._detector.config.min_events:
+                break
+            found = self._detector.detect(remaining)
+            if found is None:
+                break
+            on_comb, phase = self._comb_membership(remaining, found.period_s)
+            claimed = int(on_comb.sum())
+            if claimed < self.min_comb_share * remaining.size:
+                break
+            components.append(
+                PeriodComponent(
+                    detection=found, event_count=claimed, phase_s=phase
+                )
+            )
+            remaining = remaining[~on_comb]
+        return components
+
+    # -- internals -----------------------------------------------------------
+
+    def _comb_membership(
+        self, timestamps: np.ndarray, period_s: float
+    ) -> Tuple[np.ndarray, float]:
+        """Mark events lying on the detected comb.
+
+        The comb phase is the circular mode of ``t mod period``; an
+        event belongs to the comb when its phase residual is within
+        the jitter window.
+        """
+        offsets = np.mod(timestamps - timestamps[0], period_s)
+        # Histogram the phases at jitter resolution and take the modal
+        # bin; circular wrap handled by duplicating the first bin.
+        resolution = max(self.jitter_window_s / 2.0, 1e-3)
+        bins = max(4, int(np.ceil(period_s / resolution)))
+        counts, edges = np.histogram(offsets, bins=bins, range=(0.0, period_s))
+        modal = int(np.argmax(counts))
+        phase = (edges[modal] + edges[modal + 1]) / 2.0
+
+        residual = np.abs(offsets - phase)
+        residual = np.minimum(residual, period_s - residual)  # circular
+        on_comb = residual <= self.jitter_window_s
+        return on_comb, float(phase)

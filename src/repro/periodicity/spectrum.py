@@ -1,0 +1,69 @@
+"""Periodogram of request-arrival series (frequency domain).
+
+The Fourier side of the §5.1 detector.  The periodogram is good at
+*flagging* that some periodicity exists and at which approximate
+frequency; the autocorrelation side then pins down the exact period.
+This division of labor follows Vlachos et al. [29].
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["periodogram", "dominant_frequencies", "frequency_to_period_bins"]
+
+
+def periodogram(series: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean-removed periodogram.
+
+    Returns ``(frequencies, power)`` where frequencies are in cycles
+    per bin (0 < f <= 0.5).  The DC term is dropped.
+    """
+    n = series.size
+    if n == 0:
+        return np.zeros(0), np.zeros(0)
+    centered = series - series.mean()
+    nfft = 1 << int(np.ceil(np.log2(max(2, n))))
+    spectrum = np.fft.rfft(centered, nfft)
+    power = (np.abs(spectrum) ** 2) / n
+    freqs = np.fft.rfftfreq(nfft, d=1.0)
+    return freqs[1:], power[1:]
+
+
+def dominant_frequencies(
+    freqs: np.ndarray,
+    power: np.ndarray,
+    top_k: int = 5,
+    min_period_bins: int = 2,
+    max_period_bins: Optional[int] = None,
+) -> List[Tuple[float, float]]:
+    """The strongest admissible spectral peaks, by descending power.
+
+    Frequencies implying periods shorter than ``min_period_bins`` or
+    longer than ``max_period_bins`` are excluded — the same
+    admissibility window the ACF search uses, so the two domains can
+    be lined up.
+    """
+    if freqs.size == 0:
+        return []
+    mask = freqs > 0
+    mask &= freqs <= 1.0 / max(min_period_bins, 1)
+    if max_period_bins is not None and max_period_bins > 0:
+        mask &= freqs >= 1.0 / max_period_bins
+    if not np.any(mask):
+        return []
+    candidate_freqs = freqs[mask]
+    candidate_power = power[mask]
+    order = np.argsort(candidate_power)[::-1][:top_k]
+    return [
+        (float(candidate_freqs[i]), float(candidate_power[i])) for i in order
+    ]
+
+
+def frequency_to_period_bins(frequency: float) -> float:
+    """Convert cycles-per-bin to a period in bins."""
+    if frequency <= 0:
+        raise ValueError("frequency must be positive")
+    return 1.0 / frequency

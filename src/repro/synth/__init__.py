@@ -1,0 +1,85 @@
+"""Synthetic CDN traffic substrate.
+
+The stand-in for the paper's proprietary Akamai logs (see DESIGN.md
+§2 for the substitution argument).  Domain and client populations,
+human session traffic, periodic machine traffic, response-size and
+multi-year trend models, and the two Table 2 dataset builders.
+"""
+
+from .calibration import PAPER, PaperTargets
+from .clients import DEFAULT_SEGMENT_MIX, Client, ClientPopulation, ClientSegment
+from .domains import (
+    CATEGORY_DOMAIN_SHARE,
+    CATEGORY_POLICY_MIX,
+    CachePolicy,
+    CachePolicyKind,
+    DomainPopulation,
+    DomainProfile,
+    Endpoint,
+    EndpointKind,
+)
+from .periodic import CANONICAL_PERIODS, PeriodicAgent, PeriodicObjectSpec
+from .regions import DEFAULT_REGIONS, Region, assign_regions
+from .rng import substream, weighted_choice, zipf_weights
+from .scenarios import fleet_with_rogue, flash_crowd, iot_fleet, scanner_probe
+from .sessions import RequestEvent, SessionConfig, SessionGenerator
+from .sizes import KIND_SIGMA, SizeModel, json_size_scale
+from .trend import MonthlyVolume, TrendModel
+from .validation import CalibrationCheck, ValidationReport, validate_dataset
+from .workload import (
+    EPOCH_2019,
+    Dataset,
+    GroundTruth,
+    WorkloadBuilder,
+    WorkloadConfig,
+    long_term_config,
+    short_term_config,
+)
+
+__all__ = [
+    "PAPER",
+    "PaperTargets",
+    "Client",
+    "ClientPopulation",
+    "ClientSegment",
+    "DEFAULT_SEGMENT_MIX",
+    "CachePolicy",
+    "CachePolicyKind",
+    "DomainPopulation",
+    "DomainProfile",
+    "Endpoint",
+    "EndpointKind",
+    "CATEGORY_POLICY_MIX",
+    "CATEGORY_DOMAIN_SHARE",
+    "PeriodicAgent",
+    "PeriodicObjectSpec",
+    "CANONICAL_PERIODS",
+    "Region",
+    "DEFAULT_REGIONS",
+    "assign_regions",
+    "iot_fleet",
+    "flash_crowd",
+    "scanner_probe",
+    "fleet_with_rogue",
+    "substream",
+    "weighted_choice",
+    "zipf_weights",
+    "RequestEvent",
+    "SessionConfig",
+    "SessionGenerator",
+    "SizeModel",
+    "KIND_SIGMA",
+    "json_size_scale",
+    "CalibrationCheck",
+    "ValidationReport",
+    "validate_dataset",
+    "MonthlyVolume",
+    "TrendModel",
+    "Dataset",
+    "GroundTruth",
+    "WorkloadBuilder",
+    "WorkloadConfig",
+    "short_term_config",
+    "long_term_config",
+    "EPOCH_2019",
+]

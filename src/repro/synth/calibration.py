@@ -1,0 +1,108 @@
+"""The paper's headline numbers, as explicit calibration targets.
+
+Everything the evaluation reports is collected here so that (a) the
+generator's parameters are visibly derived from the paper rather than
+buried in magic constants, and (b) benchmarks can print
+paper-vs-measured rows from a single source of truth.
+
+All fractions are of *JSON* traffic unless noted otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["PaperTargets", "PAPER"]
+
+
+@dataclass(frozen=True)
+class PaperTargets:
+    """Numbers reported in the paper (section noted per field)."""
+
+    # -- Figure 1 / §1 ---------------------------------------------------
+    #: JSON:HTML request ratio at the end of the observation window.
+    json_html_ratio_2019: float = 4.0
+    #: Observation window of the trend series.
+    trend_years: Tuple[int, int] = (2016, 2019)
+
+    # -- Table 2 ----------------------------------------------------------
+    short_term_logs: int = 25_000_000
+    short_term_duration_s: float = 600.0
+    short_term_domains: int = 5_000
+    long_term_logs: int = 10_000_000
+    long_term_duration_s: float = 86_400.0
+    long_term_domains: int = 170
+
+    # -- Figure 3 / §4 traffic source --------------------------------------
+    #: Request share by device type.
+    device_mix: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "mobile": 0.55,
+            "embedded": 0.12,
+            "desktop": 0.09,
+            "unknown": 0.24,
+        }
+    )
+    #: Unique user-agent *string* share by device type.
+    ua_string_mix: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "mobile": 0.73,
+            "embedded": 0.17,
+            "desktop": 0.03,
+            "unknown": 0.07,
+        }
+    )
+    #: Share of JSON traffic not from browsers.
+    non_browser_fraction: float = 0.88
+    #: Mobile browser traffic as share of all JSON requests.
+    mobile_browser_fraction: float = 0.025
+    #: Native mobile app share ("at least 52%").
+    mobile_app_fraction_min: float = 0.52
+
+    # -- §4 request type ----------------------------------------------------
+    get_fraction: float = 0.84
+    #: Of the non-GET remainder, the POST share.
+    post_share_of_non_get: float = 0.96
+
+    # -- §4 response type ----------------------------------------------------
+    uncacheable_fraction: float = 0.55
+    #: Domain-level cacheability: never / always cacheable shares.
+    domains_never_cacheable: float = 0.50
+    domains_always_cacheable: float = 0.30
+    #: JSON size vs HTML size: relative reduction at p50 and p75.
+    json_vs_html_p50_smaller: float = 0.24
+    json_vs_html_p75_smaller: float = 0.87
+    #: Mean JSON response-size reduction since 2016.
+    json_size_decrease_since_2016: float = 0.28
+
+    # -- §5.1 periodicity ------------------------------------------------
+    periodic_request_fraction: float = 0.063
+    #: Canonical period spikes in Figure 5 (seconds).
+    canonical_periods_s: Tuple[float, ...] = (30, 60, 120, 180, 600, 900, 1800)
+    #: Figure 6: fraction of periodic objects where >50% of clients are
+    #: periodic with the object's period.
+    objects_with_majority_periodic_clients: float = 0.20
+    periodic_uncacheable_fraction: float = 0.562
+    periodic_upload_fraction: float = 0.78
+    #: Detection parameters (§5.1 "Choosing Parameters").
+    permutations_x: int = 100
+    sampling_rate_s: float = 1.0
+    #: Flow filters.
+    min_requests_per_client_flow: int = 10
+    min_clients_per_object_flow: int = 10
+
+    # -- §5.2 / Table 3 ----------------------------------------------------
+    #: Top-K accuracy for N=1: {K: (clustered, actual)}.
+    ngram_accuracy: Mapping[int, Tuple[float, float]] = field(
+        default_factory=lambda: {
+            1: (0.65, 0.45),
+            5: (0.84, 0.64),
+            10: (0.87, 0.69),
+        }
+    )
+    #: Accuracy gain ceiling from raising N to 5.
+    ngram_n5_max_gain: float = 0.05
+
+
+PAPER = PaperTargets()

@@ -1,0 +1,190 @@
+"""Client population model.
+
+A client is one (device, software stack) pair: a phone running a
+native app, a desktop browser, a console, an IoT node, a server-side
+script.  The population's segment mix is calibrated so that the
+*request-level* device and browser shares land on the paper's
+Figure 3 numbers once the workload weights each segment's activity.
+
+Segment request-share calibration (fractions of JSON requests):
+
+========  =====================  ======
+segment   device                 share
+========  =====================  ======
+mobile_app      mobile           0.525
+mobile_browser  mobile           0.025
+desktop_browser desktop          0.085
+embedded        embedded         0.120
+sdk             unknown          0.040
+no_ua           unknown          0.170
+malformed       unknown          0.035
+========  =====================  ======
+
+→ mobile 55%, embedded 12%, desktop ~9%, unknown ~24.5%, browser
+traffic ~11%, matching §4 within sampling noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..logs.anonymize import IpAnonymizer
+from ..logs.record import client_key as log_client_key
+from ..useragent.strings import (
+    make_desktop_browser_ua,
+    make_embedded_ua,
+    make_malformed_ua,
+    make_mobile_app_ua,
+    make_mobile_browser_ua,
+    make_sdk_ua,
+)
+from .rng import substream
+
+__all__ = ["ClientSegment", "Client", "ClientPopulation", "DEFAULT_SEGMENT_MIX"]
+
+#: (segment name, request-share weight)
+DEFAULT_SEGMENT_MIX: Mapping[str, float] = {
+    "mobile_app": 0.525,
+    "mobile_browser": 0.025,
+    "desktop_browser": 0.085,
+    "embedded": 0.120,
+    "sdk": 0.040,
+    "no_ua": 0.170,
+    "malformed": 0.035,
+}
+
+#: Segments that behave like interactive humans (session traffic) vs
+#: machine agents (periodic / scripted traffic).  Mixed segments can
+#: do both: a mobile app has a human in front of it *and* a background
+#: refresh timer.
+_HUMAN_SEGMENTS = frozenset(
+    {"mobile_app", "mobile_browser", "desktop_browser", "embedded"}
+)
+
+
+@dataclass(frozen=True)
+class ClientSegment:
+    """Static description of a population segment."""
+
+    name: str
+    weight: float
+
+
+@dataclass(frozen=True)
+class Client:
+    """One traffic-generating client."""
+
+    ip_hash: str
+    user_agent: Optional[str]
+    segment: str
+    #: Relative request volume of this client within its segment.
+    activity: float
+    #: Geographic region name; empty for single-region datasets.
+    region: str = ""
+
+    @property
+    def is_human_capable(self) -> bool:
+        return self.segment in _HUMAN_SEGMENTS
+
+    @property
+    def client_key(self) -> str:
+        """Identifier matching :attr:`repro.logs.RequestLog.client_id`."""
+        return log_client_key(self.ip_hash, self.user_agent)
+
+
+class ClientPopulation:
+    """Reproducible population of clients with the calibrated mix.
+
+    Parameters
+    ----------
+    num_clients:
+        Total clients to create.
+    seed:
+        Dataset seed.
+    segment_mix:
+        Override of :data:`DEFAULT_SEGMENT_MIX` (weights need not be
+        normalized).
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        seed: int = 0,
+        segment_mix: Optional[Mapping[str, float]] = None,
+        regions: Optional[Sequence["Region"]] = None,
+    ) -> None:
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        mix = dict(segment_mix or DEFAULT_SEGMENT_MIX)
+        total = sum(mix.values())
+        if total <= 0:
+            raise ValueError("segment mix weights must sum to a positive value")
+        self.segments: List[ClientSegment] = [
+            ClientSegment(name, weight / total) for name, weight in mix.items()
+        ]
+        rng = substream(seed, "clients")
+        ua_rng = substream(seed, "clients", "ua")
+        anonymizer = IpAnonymizer(substream(seed, "clients", "ipkey").randbytes(32))
+        if regions:
+            from .regions import assign_regions
+
+            region_assignment = assign_regions(
+                substream(seed, "clients", "regions"), num_clients, regions
+            )
+        else:
+            region_assignment = None
+
+        self.clients: List[Client] = []
+        names = [segment.name for segment in self.segments]
+        weights = [segment.weight for segment in self.segments]
+        for index in range(num_clients):
+            segment = rng.choices(names, weights=weights, k=1)[0]
+            ip = f"10.{rng.randint(0, 255)}.{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+            # Collisions across clients are fine (NAT exists); the
+            # client key is (ip hash, UA) as in the paper.
+            self.clients.append(
+                Client(
+                    ip_hash=anonymizer.anonymize(ip),
+                    user_agent=self._make_ua(ua_rng, segment),
+                    segment=segment,
+                    activity=max(0.05, rng.lognormvariate(0.0, 0.6)),
+                    region=(
+                        region_assignment[index].name
+                        if region_assignment
+                        else ""
+                    ),
+                )
+            )
+
+    @staticmethod
+    def _make_ua(rng: random.Random, segment: str) -> Optional[str]:
+        if segment == "no_ua":
+            return None
+        factory = {
+            "mobile_app": make_mobile_app_ua,
+            "mobile_browser": make_mobile_browser_ua,
+            "desktop_browser": make_desktop_browser_ua,
+            "embedded": make_embedded_ua,
+            "sdk": make_sdk_ua,
+            "malformed": make_malformed_ua,
+        }[segment]
+        return factory(rng)
+
+    # -- accessors ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def __iter__(self):
+        return iter(self.clients)
+
+    def by_segment(self) -> Dict[str, List[Client]]:
+        grouped: Dict[str, List[Client]] = {}
+        for client in self.clients:
+            grouped.setdefault(client.segment, []).append(client)
+        return grouped
+
+    def segment_counts(self) -> Dict[str, int]:
+        return {name: len(group) for name, group in self.by_segment().items()}

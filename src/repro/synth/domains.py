@@ -1,0 +1,498 @@
+"""Customer-domain population model.
+
+CDN customers differ along exactly the axes the paper measures:
+industry category (Figure 4), per-object cacheability policy, API
+shape (manifest/content/telemetry endpoints), and popularity.  This
+module builds a reproducible population of
+:class:`DomainProfile` objects embodying those axes.
+
+Calibration (see :mod:`repro.synth.calibration`):
+
+* ~50% of domains never cache, ~30% always cache, the rest are mixed
+  (§4: "nearly 50% of domains serve content that is never cacheable
+  and another 30% serve content that is always cacheable").
+* Financial Services, Streaming, and Gaming skew heavily uncacheable
+  (one-time-use / personalized content); News/Media, Sports, and
+  Entertainment skew cacheable (static content).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.taxonomy import IndustryCategory
+from ..logs.record import HttpMethod
+from .rng import substream, weighted_choice, zipf_weights
+
+__all__ = [
+    "CachePolicyKind",
+    "CachePolicy",
+    "EndpointKind",
+    "Endpoint",
+    "DomainProfile",
+    "DomainPopulation",
+    "CATEGORY_POLICY_MIX",
+    "CATEGORY_DOMAIN_SHARE",
+]
+
+
+class CachePolicyKind(str, enum.Enum):
+    """Domain-level cacheability configuration classes."""
+
+    ALWAYS = "always"
+    NEVER = "never"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Customer cache configuration for one domain.
+
+    ``mixed_uncacheable_share`` only matters for MIXED domains: the
+    fraction of the domain's objects marked no-store.
+    """
+
+    kind: CachePolicyKind
+    ttl_seconds: float = 300.0
+    mixed_uncacheable_share: float = 0.30
+
+    def object_cacheable(self, object_url: str) -> bool:
+        """Stable per-object cacheability decision.
+
+        MIXED domains decide per object via a hash of the URL so the
+        decision is stable across the dataset without carrying state.
+        """
+        if self.kind is CachePolicyKind.ALWAYS:
+            return True
+        if self.kind is CachePolicyKind.NEVER:
+            return False
+        digest = hashlib.md5(object_url.encode("utf-8")).digest()
+        return (digest[0] / 255.0) >= self.mixed_uncacheable_share
+
+
+class EndpointKind(str, enum.Enum):
+    """Functional role of an API endpoint.
+
+    The kinds drive request method, response size, cacheability and —
+    crucially for §5 — the access pattern: MANIFEST/CONTENT form the
+    session graph, TELEMETRY/POLL carry the periodic machine traffic.
+    """
+
+    MANIFEST = "manifest"
+    CONTENT = "content"
+    SEARCH = "search"
+    CONFIG = "config"
+    TELEMETRY = "telemetry"
+    POLL = "poll"
+    PAGE = "page"  # text/html document (browser traffic)
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One concrete requestable object on a domain."""
+
+    url: str
+    kind: EndpointKind
+    method: HttpMethod
+    cacheable: bool
+    mime_type: str = "application/json"
+    #: Median response size in bytes (lognormal jitter applied later).
+    median_bytes: int = 2_000
+
+
+#: Per-category (never, always, mixed) policy probabilities, chosen so
+#: the population-weighted averages land on the paper's 50/30/20 split
+#: while preserving the per-industry story of Figure 4.
+CATEGORY_POLICY_MIX: Mapping[IndustryCategory, Tuple[float, float, float]] = {
+    IndustryCategory.NEWS_MEDIA: (0.10, 0.75, 0.15),
+    IndustryCategory.SPORTS: (0.15, 0.70, 0.15),
+    IndustryCategory.ENTERTAINMENT: (0.15, 0.65, 0.20),
+    IndustryCategory.FINANCIAL: (0.90, 0.02, 0.08),
+    IndustryCategory.STREAMING: (0.80, 0.05, 0.15),
+    IndustryCategory.GAMING: (0.80, 0.05, 0.15),
+    IndustryCategory.ECOMMERCE: (0.55, 0.15, 0.30),
+    IndustryCategory.SOCIAL: (0.70, 0.10, 0.20),
+    IndustryCategory.TECHNOLOGY: (0.40, 0.35, 0.25),
+    IndustryCategory.TRAVEL: (0.50, 0.25, 0.25),
+    IndustryCategory.ADVERTISING: (0.60, 0.15, 0.25),
+}
+
+#: Share of the domain population per category.
+CATEGORY_DOMAIN_SHARE: Mapping[IndustryCategory, float] = {
+    IndustryCategory.NEWS_MEDIA: 0.12,
+    IndustryCategory.SPORTS: 0.08,
+    IndustryCategory.ENTERTAINMENT: 0.10,
+    IndustryCategory.FINANCIAL: 0.10,
+    IndustryCategory.STREAMING: 0.08,
+    IndustryCategory.GAMING: 0.10,
+    IndustryCategory.ECOMMERCE: 0.12,
+    IndustryCategory.SOCIAL: 0.06,
+    IndustryCategory.TECHNOLOGY: 0.14,
+    IndustryCategory.TRAVEL: 0.05,
+    IndustryCategory.ADVERTISING: 0.05,
+}
+
+_NAME_PREFIXES = [
+    "fast", "bright", "nova", "apex", "blue", "prime", "pulse", "swift",
+    "meta", "hyper", "core", "vivid", "solid", "urban", "astro", "zen",
+]
+_NAME_STEMS: Mapping[IndustryCategory, Sequence[str]] = {
+    IndustryCategory.NEWS_MEDIA: ("news", "press", "wire", "daily"),
+    IndustryCategory.SPORTS: ("score", "league", "match", "sport"),
+    IndustryCategory.ENTERTAINMENT: ("show", "cinema", "fun", "clips"),
+    IndustryCategory.FINANCIAL: ("bank", "pay", "trade", "ledger"),
+    IndustryCategory.STREAMING: ("stream", "video", "tube", "play"),
+    IndustryCategory.GAMING: ("game", "quest", "arena", "pixel"),
+    IndustryCategory.ECOMMERCE: ("shop", "cart", "market", "deal"),
+    IndustryCategory.SOCIAL: ("social", "chat", "friend", "feed"),
+    IndustryCategory.TECHNOLOGY: ("cloud", "dev", "stack", "api"),
+    IndustryCategory.TRAVEL: ("trip", "fly", "hotel", "tour"),
+    IndustryCategory.ADVERTISING: ("ads", "track", "metric", "pixel"),
+}
+
+#: Median response bytes by endpoint kind.  The JSON mix is size-
+#: calibrated so aggregate JSON quantiles sit well below HTML's, with
+#: an especially light upper tail (§4: 24% / 87% smaller at p50/p75).
+_KIND_MEDIAN_BYTES: Mapping[EndpointKind, int] = {
+    EndpointKind.MANIFEST: 9_000,
+    EndpointKind.CONTENT: 12_000,
+    EndpointKind.SEARCH: 5_000,
+    EndpointKind.CONFIG: 2_500,
+    EndpointKind.TELEMETRY: 250,
+    EndpointKind.POLL: 1_100,
+    EndpointKind.PAGE: 30_000,
+}
+
+
+@dataclass(frozen=True)
+class DomainProfile:
+    """One CDN customer domain and its API surface."""
+
+    name: str
+    category: IndustryCategory
+    policy: CachePolicy
+    popularity: float
+    manifests: Tuple[Endpoint, ...]
+    contents: Tuple[Endpoint, ...]
+    searches: Tuple[Endpoint, ...]
+    configs: Tuple[Endpoint, ...]
+    telemetry: Tuple[Endpoint, ...]
+    polls: Tuple[Endpoint, ...]
+    pages: Tuple[Endpoint, ...]
+
+    @property
+    def json_endpoints(self) -> Tuple[Endpoint, ...]:
+        return (
+            self.manifests
+            + self.contents
+            + self.searches
+            + self.configs
+            + self.telemetry
+            + self.polls
+        )
+
+    @property
+    def periodic_endpoints(self) -> Tuple[Endpoint, ...]:
+        """Endpoints that machine agents hit on timers (§5.1)."""
+        return self.telemetry + self.polls
+
+
+def _make_endpoint(
+    domain: str,
+    url: str,
+    kind: EndpointKind,
+    method: HttpMethod,
+    policy: CachePolicy,
+    mime_type: str = "application/json",
+    cacheable_override: Optional[bool] = None,
+) -> Endpoint:
+    cacheable = (
+        cacheable_override
+        if cacheable_override is not None
+        else policy.object_cacheable(f"{domain}{url}")
+    )
+    return Endpoint(
+        url=url,
+        kind=kind,
+        method=method,
+        cacheable=cacheable,
+        mime_type=mime_type,
+        median_bytes=_KIND_MEDIAN_BYTES[kind],
+    )
+
+
+class DomainPopulation:
+    """A reproducible population of customer domains.
+
+    Parameters
+    ----------
+    num_domains:
+        Population size (~5K short-term, ~170 long-term in the paper).
+    seed:
+        Dataset seed; all draws derive from it.
+    zipf_exponent:
+        Skew of domain popularity (traffic share).
+    """
+
+    def __init__(
+        self,
+        num_domains: int,
+        seed: int = 0,
+        zipf_exponent: float = 0.55,
+    ) -> None:
+        if num_domains <= 0:
+            raise ValueError("num_domains must be positive")
+        self.seed = seed
+        rng = substream(seed, "domains")
+        categories = list(CATEGORY_DOMAIN_SHARE)
+        category_weights = [CATEGORY_DOMAIN_SHARE[c] for c in categories]
+        popularity = zipf_weights(num_domains, zipf_exponent)
+        # Cap single-domain traffic share: the population here is a
+        # small sample of a CDN's customer base, and letting one
+        # sampled domain carry >3x the average share makes every
+        # traffic-weighted marginal hostage to that domain's random
+        # policy draw.
+        ceiling = 3.0 / num_domains
+        popularity = [min(weight, ceiling) for weight in popularity]
+        total_weight = sum(popularity)
+        popularity = [weight / total_weight for weight in popularity]
+        # Shuffle popularity ranks so popularity is independent of
+        # category/policy — keeps the request-level cacheability near
+        # its analytic expectation.
+        rng.shuffle(popularity)
+
+        chosen_categories = [
+            weighted_choice(rng, categories, category_weights)
+            for _ in range(num_domains)
+        ]
+        policy_kinds = self._assign_policies(rng, chosen_categories, popularity)
+        self.domains: List[DomainProfile] = []
+        used_names: set = set()
+        for index in range(num_domains):
+            self.domains.append(
+                self._build_domain(
+                    rng,
+                    index,
+                    chosen_categories[index],
+                    policy_kinds[index],
+                    popularity[index],
+                    used_names,
+                )
+            )
+
+    @staticmethod
+    def _assign_policies(
+        rng,
+        categories: List[IndustryCategory],
+        popularity: List[float],
+    ) -> List[CachePolicyKind]:
+        """Count- and weight-balanced policy assignment.
+
+        Two constraints, both of which an i.i.d. per-domain draw
+        violates at small population sizes:
+
+        * each category keeps *exactly* its designed policy counts
+          (largest-remainder rounding of CATEGORY_POLICY_MIX) — this
+          pins the Figure 4 heatmap and its 50/30/20 marginals;
+        * the *popularity-weighted* policy shares track the count
+          shares — this pins the request-level ~55% uncacheable
+          fraction, which would otherwise swing ±10pp with the random
+          policies of a few heavy domains.
+
+        Domains are processed in descending popularity; each takes,
+        among policy kinds its category still has quota for, the kind
+        whose weighted share lags its target the most.
+        """
+        kinds: List[Optional[CachePolicyKind]] = [None] * len(categories)
+        by_category: Dict[IndustryCategory, List[int]] = {}
+        for index, category in enumerate(categories):
+            by_category.setdefault(category, []).append(index)
+        policy_order = (
+            CachePolicyKind.NEVER,
+            CachePolicyKind.ALWAYS,
+            CachePolicyKind.MIXED,
+        )
+
+        remaining: Dict[IndustryCategory, Dict[CachePolicyKind, int]] = {}
+        total_counts = {kind: 0 for kind in policy_order}
+        for category, members in by_category.items():
+            shares = CATEGORY_POLICY_MIX[category]
+            exact = [share * len(members) for share in shares]
+            counts = [int(value) for value in exact]
+            leftovers = sorted(
+                range(3), key=lambda i: exact[i] - counts[i], reverse=True
+            )
+            for i in leftovers[: len(members) - sum(counts)]:
+                counts[i] += 1
+            remaining[category] = dict(zip(policy_order, counts))
+            for kind, count in zip(policy_order, counts):
+                total_counts[kind] += count
+
+        total = len(categories)
+        targets = {kind: total_counts[kind] / total for kind in policy_order}
+        assigned_weight = {kind: 0.0 for kind in policy_order}
+        processed_weight = 0.0
+        order = sorted(
+            range(total), key=lambda i: popularity[i], reverse=True
+        )
+        for index in order:
+            category = categories[index]
+            weight = popularity[index]
+            processed_weight += weight
+            available = [
+                kind for kind in policy_order if remaining[category][kind] > 0
+            ]
+            kind = max(
+                available,
+                key=lambda k: targets[k] * processed_weight - assigned_weight[k],
+            )
+            remaining[category][kind] -= 1
+            assigned_weight[kind] += weight
+            kinds[index] = kind
+        return kinds  # type: ignore[return-value]
+
+    def _build_domain(
+        self,
+        rng,
+        index: int,
+        category: IndustryCategory,
+        kind: CachePolicyKind,
+        popularity: float,
+        used_names: set,
+    ) -> DomainProfile:
+        name = self._domain_name(rng, index, category, used_names)
+        ttl = rng.choice([60.0, 120.0, 300.0, 600.0, 3600.0])
+        policy = CachePolicy(kind=kind, ttl_seconds=ttl)
+
+        version = rng.choice([1, 1, 2, 2, 3])
+        base = f"/api/v{version}"
+
+        manifests = tuple(
+            _make_endpoint(name, url, EndpointKind.MANIFEST, HttpMethod.GET, policy)
+            for url in (
+                f"{base}/home",
+                *(f"{base}/stories?page={page}" for page in range(1, rng.randint(2, 5))),
+            )
+        )
+        num_contents = max(10, int(rng.lognormvariate(3.6, 0.8)))
+        contents = tuple(
+            _make_endpoint(
+                name,
+                f"{base}/item/{item_id}",
+                EndpointKind.CONTENT,
+                HttpMethod.GET,
+                policy,
+            )
+            for item_id in self._content_ids(rng, num_contents)
+        )
+        searches = tuple(
+            _make_endpoint(
+                name,
+                f"{base}/search?q={term}",
+                EndpointKind.SEARCH,
+                HttpMethod.GET,
+                policy,
+            )
+            for term in ("trending", "latest", "popular")[: rng.randint(1, 3)]
+        )
+        configs = (
+            _make_endpoint(
+                name, f"{base}/config", EndpointKind.CONFIG, HttpMethod.GET, policy
+            ),
+        )
+        # Telemetry uploads: mostly POST; cacheability of the (ack)
+        # response follows customer policy like any other object, so
+        # periodic traffic ends up partially cacheable as observed
+        # (56.2% of it uncacheable, §5.1).
+        telemetry = tuple(
+            _make_endpoint(
+                name,
+                f"{base}/{suffix}",
+                EndpointKind.TELEMETRY,
+                HttpMethod.POST,
+                policy,
+            )
+            for suffix in ("telemetry", "events/batch")[: rng.randint(1, 2)]
+        )
+        polls = tuple(
+            _make_endpoint(
+                name, f"{base}/{suffix}", EndpointKind.POLL, HttpMethod.GET, policy
+            )
+            for suffix in ("poll", "notifications", "scores/live")[: rng.randint(1, 3)]
+        )
+        pages = tuple(
+            _make_endpoint(
+                name,
+                url,
+                EndpointKind.PAGE,
+                HttpMethod.GET,
+                policy,
+                mime_type="text/html",
+            )
+            for url in ("/", "/section/top", "/section/local")[: rng.randint(1, 3)]
+        )
+        return DomainProfile(
+            name=name,
+            category=category,
+            policy=policy,
+            popularity=popularity,
+            manifests=manifests,
+            contents=contents,
+            searches=searches,
+            configs=configs,
+            telemetry=telemetry,
+            polls=polls,
+            pages=pages,
+        )
+
+    @staticmethod
+    def _content_ids(rng, count: int) -> List[int]:
+        """Realistic-looking sparse numeric object ids."""
+        start = rng.randint(1_000, 900_000)
+        ids: List[int] = []
+        current = start
+        for _ in range(count):
+            current += rng.randint(1, 97)
+            ids.append(current)
+        return ids
+
+    @staticmethod
+    def _domain_name(rng, index: int, category: IndustryCategory, used: set) -> str:
+        for _ in range(20):
+            prefix = rng.choice(_NAME_PREFIXES)
+            stem = rng.choice(_NAME_STEMS[category])
+            candidate = f"{prefix}{stem}.example.com"
+            if candidate not in used:
+                used.add(candidate)
+                return candidate
+        candidate = f"customer-{index:05d}.example.com"
+        used.add(candidate)
+        return candidate
+
+    # -- accessors ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def __iter__(self):
+        return iter(self.domains)
+
+    def popularity_weights(self) -> List[float]:
+        total = sum(domain.popularity for domain in self.domains)
+        return [domain.popularity / total for domain in self.domains]
+
+    def policy_kind_shares(self) -> Dict[CachePolicyKind, float]:
+        """Domain-level policy mix (the Figure 4 marginals)."""
+        counts: Dict[CachePolicyKind, int] = {kind: 0 for kind in CachePolicyKind}
+        for domain in self.domains:
+            counts[domain.policy.kind] += 1
+        return {kind: counts[kind] / len(self.domains) for kind in CachePolicyKind}
+
+    def by_category(self) -> Dict[IndustryCategory, List[DomainProfile]]:
+        grouped: Dict[IndustryCategory, List[DomainProfile]] = {}
+        for domain in self.domains:
+            grouped.setdefault(domain.category, []).append(domain)
+        return grouped

@@ -1,0 +1,202 @@
+"""Canned traffic scenarios.
+
+Reusable builders for the situations the examples and tests keep
+constructing by hand: an IoT fleet on a firmware timer, a flash crowd
+on one object, a URL-space scanner, a fleet with a rogue device.
+Each returns time-sorted :class:`repro.synth.sessions.RequestEvent`
+lists (or logs where noted) ready for `WorkloadBuilder.replay`-style
+serving or direct analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .clients import Client, ClientPopulation
+from .domains import DomainProfile, Endpoint
+from .periodic import PeriodicAgent, PeriodicObjectSpec
+from .rng import substream
+from .sessions import RequestEvent
+
+__all__ = [
+    "iot_fleet",
+    "flash_crowd",
+    "scanner_probe",
+    "fleet_with_rogue",
+]
+
+
+def iot_fleet(
+    domain: DomainProfile,
+    endpoint: Endpoint,
+    num_devices: int,
+    period_s: float,
+    duration_s: float,
+    seed: int = 0,
+    jitter_s: float = 0.25,
+    drop_probability: float = 0.03,
+    synchronized: bool = False,
+) -> List[RequestEvent]:
+    """A fleet of devices polling one endpoint on a firmware timer.
+
+    ``synchronized=True`` gives every device the same phase (the
+    thundering-herd configuration the phase analysis flags);
+    otherwise phases are uniform.
+    """
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    rng = substream(seed, "scenario", "iot")
+    clients = ClientPopulation(
+        num_devices, seed=seed, segment_mix={"embedded": 1.0}
+    )
+    spec = PeriodicObjectSpec(
+        domain=domain,
+        endpoint=endpoint,
+        period_s=period_s,
+        periodic_client_share=1.0,
+    )
+    shared_phase = rng.uniform(0, period_s)
+    events: List[RequestEvent] = []
+    for client in clients:
+        agent = PeriodicAgent(
+            client=client,
+            spec=spec,
+            phase_s=shared_phase if synchronized else rng.uniform(0, period_s),
+            jitter_s=jitter_s,
+            drop_probability=drop_probability,
+            active_start=0.0,
+            active_end=duration_s,
+        )
+        events.extend(agent.generate(rng))
+    events.sort()
+    return events
+
+
+def flash_crowd(
+    domain: DomainProfile,
+    endpoint: Endpoint,
+    num_requests: int,
+    duration_s: float,
+    seed: int = 0,
+    num_clients: int = 300,
+    ramp_fraction: float = 0.2,
+) -> List[RequestEvent]:
+    """A sudden crowd on one object: fast ramp, then sustained load.
+
+    Arrival density ramps linearly over the first ``ramp_fraction``
+    of the window and stays flat after — the breaking-news shape.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    rng = substream(seed, "scenario", "crowd")
+    clients = ClientPopulation(
+        num_clients, seed=seed, segment_mix={"mobile_app": 0.8,
+                                             "mobile_browser": 0.2}
+    ).clients
+    ramp_end = duration_s * ramp_fraction
+    events: List[RequestEvent] = []
+    for _ in range(num_requests):
+        # Inverse-CDF sample of the ramp-then-flat density.
+        if rng.random() < ramp_fraction / (2 - ramp_fraction):
+            timestamp = ramp_end * (rng.random() ** 0.5)
+        else:
+            timestamp = rng.uniform(ramp_end, duration_s)
+        events.append(
+            RequestEvent(timestamp, rng.choice(clients), domain, endpoint)
+        )
+    events.sort()
+    return events
+
+
+def scanner_probe(
+    domain: DomainProfile,
+    seed: int = 0,
+    paths: Optional[Sequence[str]] = None,
+    interval_s: float = 0.4,
+) -> List[RequestEvent]:
+    """A vulnerability scanner walking paths no app ever requests.
+
+    Feed the resulting flow to
+    :class:`repro.anomaly.SequenceAnomalyDetector` — every transition
+    should score below threshold.
+    """
+    from ..logs.record import HttpMethod
+    from .domains import EndpointKind
+
+    rng = substream(seed, "scenario", "scanner")
+    scanner = Client(
+        ip_hash=f"{rng.getrandbits(64):016x}",
+        user_agent="Mozilla/5.0 zgrab/0.x",
+        segment="sdk",
+        activity=1.0,
+    )
+    probe_paths = list(
+        paths
+        or (
+            "/.env",
+            "/wp-admin/setup.php",
+            "/admin/login",
+            "/.git/config",
+            "/backup/db.sql",
+            "/api/v1/../../etc/passwd",
+            "/debug/vars",
+            "/phpinfo.php",
+        )
+    )
+    events: List[RequestEvent] = []
+    now = 0.0
+    for path in probe_paths:
+        endpoint = Endpoint(
+            url=path,
+            kind=EndpointKind.CONTENT,
+            method=HttpMethod.GET,
+            cacheable=False,
+            mime_type="application/json",
+            median_bytes=300,
+        )
+        events.append(RequestEvent(now, scanner, domain, endpoint))
+        now += rng.uniform(interval_s * 0.5, interval_s * 1.5)
+    return events
+
+
+def fleet_with_rogue(
+    domain: DomainProfile,
+    endpoint: Endpoint,
+    num_devices: int,
+    period_s: float,
+    duration_s: float,
+    rogue_speedup: float = 10.0,
+    seed: int = 0,
+) -> List[RequestEvent]:
+    """A healthy timer fleet plus one device polling far too fast.
+
+    The rogue is the last client in the stream's population; feed the
+    events to :class:`repro.anomaly.PeriodicAnomalyMonitor` and it
+    should be the only alert.
+    """
+    if rogue_speedup <= 1.0:
+        raise ValueError("rogue_speedup must exceed 1")
+    healthy = iot_fleet(
+        domain, endpoint, num_devices, period_s, duration_s, seed=seed
+    )
+    rng = substream(seed, "scenario", "rogue")
+    rogue_client = Client(
+        ip_hash=f"{rng.getrandbits(64):016x}",
+        user_agent="ESP8266HTTPClient/1.2.0",
+        segment="embedded",
+        activity=1.0,
+    )
+    spec = PeriodicObjectSpec(domain, endpoint, period_s / rogue_speedup, 1.0)
+    agent = PeriodicAgent(
+        client=rogue_client,
+        spec=spec,
+        phase_s=rng.uniform(0, period_s / rogue_speedup),
+        jitter_s=0.1,
+        drop_probability=0.0,
+        active_start=0.0,
+        active_end=duration_s,
+    )
+    events = healthy + agent.generate(rng)
+    events.sort()
+    return events

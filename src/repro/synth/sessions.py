@@ -1,0 +1,288 @@
+"""Human-triggered session traffic.
+
+Models the paper's Table 1 pattern: an application first fetches a
+JSON *manifest* (story list, home feed), then fetches *content*
+objects referenced by it, occasionally searching, paging, and
+uploading telemetry.  Browser sessions interleave HTML page loads
+with a smaller number of JSON API calls (server-side-rendered sites
+dominate browser HTML, which is why browsers contribute only ~12% of
+JSON traffic while HTML volume stays at ~1/4 of JSON volume).
+
+The navigation structure is an explicit Markov chain over endpoint
+roles.  Its transition weights are the knob that calibrates the
+Table 3 ngram accuracies: the more deterministic the chain, the more
+predictable the next URL.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .clients import Client
+from .domains import DomainProfile, Endpoint, EndpointKind
+from .rng import zipf_weights
+
+__all__ = ["RequestEvent", "SessionConfig", "SessionGenerator"]
+
+
+@dataclass(frozen=True, order=True)
+class RequestEvent:
+    """One request issued by a client, before edge-server processing.
+
+    Ordering compares timestamps only, so event streams from multiple
+    generators can be merged with a plain sort.
+    """
+
+    timestamp: float
+    client: Client = field(compare=False)
+    domain: DomainProfile = field(compare=False)
+    endpoint: Endpoint = field(compare=False)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Tunable knobs of the session Markov chain.
+
+    The defaults are calibrated against Table 3; see
+    ``benchmarks/test_tab3_ngram.py``.
+    """
+
+    #: Probability an app session begins with the config fetch.
+    config_first: float = 0.70
+    #: Probability an app session reports a launch analytics event.
+    launch_telemetry: float = 0.30
+    #: Mean think time between human actions (lognormal median, s).
+    think_median_s: float = 8.0
+    think_sigma: float = 0.9
+    #: Hard cap on session length, a safety net for the Markov walk.
+    max_steps: int = 40
+    #: Zipf exponent for content choice within a manifest window.
+    content_zipf: float = 1.6
+    #: Size of the "featured" window a manifest exposes.
+    featured_window: int = 10
+    #: Mean JSON API calls per browser page load.
+    browser_json_per_page: float = 0.5
+    #: Static sub-resources (CSS/JS/image) per browser page load.
+    browser_assets_per_page: int = 2
+
+
+# Static asset flavors browsers pull alongside HTML documents.
+_ASSET_MIMES = ("text/css", "application/javascript", "image/jpeg")
+
+
+class SessionGenerator:
+    """Generates request-event sequences for one client session.
+
+    One generator instance owns one RNG substream; sessions produced
+    by it are reproducible given the construction seed.
+    """
+
+    def __init__(self, rng: random.Random, config: Optional[SessionConfig] = None) -> None:
+        self._rng = rng
+        self.config = config or SessionConfig()
+
+    # -- public API --------------------------------------------------------
+
+    def app_session(
+        self, client: Client, domain: DomainProfile, start_time: float
+    ) -> List[RequestEvent]:
+        """A native-app session: pure JSON, manifest→content pattern."""
+        events: List[RequestEvent] = []
+        now = start_time
+        rng = self._rng
+        cfg = self.config
+
+        state: Tuple[str, int] = ("home", 0)
+        if rng.random() < cfg.config_first and domain.configs:
+            events.append(RequestEvent(now, client, domain, domain.configs[0]))
+            now += self._subsecond_delay()
+        events.append(RequestEvent(now, client, domain, domain.manifests[0]))
+        # Launch analytics: many apps report an open/visit event.
+        if rng.random() < cfg.launch_telemetry and domain.telemetry:
+            events.append(
+                RequestEvent(now + self._subsecond_delay(), client, domain,
+                             domain.telemetry[0])
+            )
+
+        for _ in range(cfg.max_steps):
+            now += self._think_time()
+            nxt = self._next_state(domain, state)
+            if nxt is None:
+                break
+            state, endpoint = nxt
+            events.append(RequestEvent(now, client, domain, endpoint))
+        return events
+
+    def browser_session(
+        self, client: Client, domain: DomainProfile, start_time: float
+    ) -> List[RequestEvent]:
+        """A browser session: HTML pages, assets, and sparse JSON."""
+        events: List[RequestEvent] = []
+        now = start_time
+        rng = self._rng
+        cfg = self.config
+        num_pages = 1 + min(self._geometric(0.45), 8)
+        for _ in range(num_pages):
+            page = rng.choice(domain.pages)
+            events.append(RequestEvent(now, client, domain, page))
+            asset_time = now
+            for index in range(cfg.browser_assets_per_page):
+                asset_time += rng.uniform(0.02, 0.2)
+                asset = Endpoint(
+                    url=f"/static/asset-{index}.{'css' if index == 0 else 'js'}",
+                    kind=EndpointKind.PAGE,
+                    method=page.method,
+                    cacheable=True,
+                    mime_type=_ASSET_MIMES[index % len(_ASSET_MIMES)],
+                    median_bytes=18_000,
+                )
+                events.append(RequestEvent(asset_time, client, domain, asset))
+            json_calls = self._poisson(cfg.browser_json_per_page)
+            call_time = now
+            for _ in range(json_calls):
+                call_time += rng.uniform(0.05, 0.6)
+                endpoint = self._browser_json_endpoint(domain)
+                events.append(RequestEvent(call_time, client, domain, endpoint))
+            now += self._think_time()
+        return events
+
+    def script_burst(
+        self, client: Client, domain: DomainProfile, start_time: float
+    ) -> List[RequestEvent]:
+        """An SDK/script burst: rapid API sweeps and webhook uploads."""
+        events: List[RequestEvent] = []
+        now = start_time
+        rng = self._rng
+        count = 2 + self._geometric(0.25)
+        for _ in range(min(count, 30)):
+            if rng.random() < 0.40 and domain.telemetry:
+                endpoint = rng.choice(domain.telemetry)
+            elif domain.contents:
+                endpoint = rng.choice(domain.contents)
+            else:
+                endpoint = domain.manifests[0]
+            events.append(RequestEvent(now, client, domain, endpoint))
+            now += rng.uniform(0.05, 1.5)
+        return events
+
+    # -- Markov chain -------------------------------------------------------
+
+    def _next_state(
+        self, domain: DomainProfile, state: Tuple[str, int]
+    ) -> Optional[Tuple[Tuple[str, int], Endpoint]]:
+        """One step of the navigation chain.
+
+        States: ``("home", 0)``, ``("stories", page)``,
+        ``("content", index)``, ``("search", 0)``, ``("telemetry", 0)``.
+        Returns None to end the session.
+        """
+        rng = self._rng
+        kind, position = state
+        roll = rng.random()
+
+        if kind == "home":
+            if roll < 0.62:
+                return self._stories_state(domain, 1)
+            if roll < 0.84:
+                return self._content_state(domain, window_start=0)
+            if roll < 0.90 and domain.searches:
+                return ("search", 0), rng.choice(domain.searches)
+            return None
+
+        if kind == "stories":
+            if roll < 0.66:
+                return self._content_state(
+                    domain, window_start=(position - 1) * self.config.featured_window
+                )
+            if roll < 0.80:
+                return self._stories_state(domain, position + 1)
+            if roll < 0.88:
+                return ("home", 0), domain.manifests[0]
+            return None
+
+        if kind == "content":
+            if roll < 0.50:
+                # "Related article" navigation: deterministic given the
+                # current item — the raw-URL-predictable core of the
+                # manifest pattern.
+                nxt = (position + 1) % len(domain.contents)
+                return ("content", nxt), domain.contents[nxt]
+            if roll < 0.70:
+                return self._stories_state(domain, 1)
+            if roll < 0.82:
+                return self._content_state(domain, window_start=0)
+            if roll < 0.88 and domain.telemetry:
+                return ("telemetry", 0), domain.telemetry[0]
+            return None
+
+        if kind == "search":
+            if roll < 0.62:
+                return self._content_state(domain, window_start=0)
+            if roll < 0.80:
+                return ("home", 0), domain.manifests[0]
+            return None
+
+        if kind == "telemetry":
+            if roll < 0.55:
+                return ("home", 0), domain.manifests[0]
+            return None
+
+        return None
+
+    def _stories_state(
+        self, domain: DomainProfile, page: int
+    ) -> Tuple[Tuple[str, int], Endpoint]:
+        stories = domain.manifests[1:] or domain.manifests
+        index = min(page - 1, len(stories) - 1)
+        return ("stories", index + 1), stories[index]
+
+    def _content_state(
+        self, domain: DomainProfile, window_start: int
+    ) -> Tuple[Tuple[str, int], Endpoint]:
+        """Pick a content item from a manifest's featured window."""
+        window = self.config.featured_window
+        start = window_start % max(1, len(domain.contents))
+        indices = [
+            (start + offset) % len(domain.contents) for offset in range(window)
+        ]
+        weights = zipf_weights(len(indices), self.config.content_zipf)
+        index = self._rng.choices(indices, weights=weights, k=1)[0]
+        return ("content", index), domain.contents[index]
+
+    def _browser_json_endpoint(self, domain: DomainProfile) -> Endpoint:
+        rng = self._rng
+        roll = rng.random()
+        if roll < 0.4:
+            return domain.manifests[0]
+        if roll < 0.7 and domain.configs:
+            return domain.configs[0]
+        return rng.choice(domain.contents)
+
+    # -- timing helpers ------------------------------------------------------
+
+    def _think_time(self) -> float:
+        return self._rng.lognormvariate(
+            math.log(self.config.think_median_s), self.config.think_sigma
+        )
+
+    def _subsecond_delay(self) -> float:
+        return self._rng.uniform(0.05, 0.8)
+
+    def _geometric(self, p: float) -> int:
+        """Number of failures before first success; mean (1-p)/p."""
+        count = 0
+        while self._rng.random() > p and count < 100:
+            count += 1
+        return count
+
+    def _poisson(self, lam: float) -> int:
+        """Knuth's method; lam is small here so this is fast."""
+        threshold = math.exp(-lam)
+        count, product = 0, self._rng.random()
+        while product > threshold:
+            count += 1
+            product *= self._rng.random()
+        return count

@@ -1,0 +1,131 @@
+"""Multi-year content-type trend model (Figure 1).
+
+Figure 1 plots the ratio of JSON to HTML requests on the CDN from
+2016 through 2019, reaching >4x at the end of the observation period.
+The underlying mechanism the paper describes is the migration of
+applications from server-rendered HTML to API-backed clients (§2.2):
+HTML volume grows slowly with overall Internet growth while JSON
+volume compounds much faster.
+
+The model emits monthly request volumes per content type; the
+analysis side (:mod:`repro.analysis.trend`) computes the ratio series
+exactly as it would from yearly log aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from .rng import substream
+
+__all__ = ["MonthlyVolume", "TrendModel"]
+
+
+@dataclass(frozen=True)
+class MonthlyVolume:
+    """Aggregate request counts for one month."""
+
+    year: int
+    month: int
+    counts: Mapping[str, int]
+
+    @property
+    def label(self) -> str:
+        return f"{self.year}-{self.month:02d}"
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        bottom = self.counts.get(denominator, 0)
+        if bottom == 0:
+            return math.inf
+        return self.counts.get(numerator, 0) / bottom
+
+
+class TrendModel:
+    """Monthly content-type volumes, 2016-01 through mid-2019.
+
+    Parameters
+    ----------
+    seed:
+        Dataset seed (adds realistic month-to-month noise).
+    base_monthly_requests:
+        HTML request volume in the first month; everything else is
+        relative to it.
+    json_start_ratio:
+        JSON:HTML ratio at the start of the window (paper's Figure 1
+        starts near parity).
+    json_end_ratio:
+        Target ratio at the end of the window (>4x).
+    """
+
+    CONTENT_TYPES: Sequence[str] = (
+        "application/json",
+        "text/html",
+        "text/css",
+        "application/javascript",
+        "image/jpeg",
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        base_monthly_requests: int = 1_000_000,
+        json_start_ratio: float = 0.9,
+        json_end_ratio: float = 4.3,
+        start: Tuple[int, int] = (2016, 1),
+        end: Tuple[int, int] = (2019, 6),
+    ) -> None:
+        if json_start_ratio <= 0 or json_end_ratio <= json_start_ratio:
+            raise ValueError("need 0 < json_start_ratio < json_end_ratio")
+        self._rng = substream(seed, "trend")
+        self._base = base_monthly_requests
+        self._start_ratio = json_start_ratio
+        self._end_ratio = json_end_ratio
+        self._start = start
+        self._end = end
+
+    # -- model ------------------------------------------------------------
+
+    def months(self) -> List[Tuple[int, int]]:
+        """All (year, month) pairs in the window, inclusive."""
+        out: List[Tuple[int, int]] = []
+        year, month = self._start
+        while (year, month) <= self._end:
+            out.append((year, month))
+            month += 1
+            if month > 12:
+                year, month = year + 1, 1
+        return out
+
+    def series(self) -> List[MonthlyVolume]:
+        """The full monthly volume series with sampling noise."""
+        months = self.months()
+        horizon = len(months) - 1
+        volumes: List[MonthlyVolume] = []
+        for index, (year, month) in enumerate(months):
+            progress = index / horizon if horizon else 1.0
+            # HTML grows slowly (~10%/yr); JSON's ratio compounds
+            # geometrically from start_ratio to end_ratio.
+            html = self._base * (1.10 ** (index / 12.0))
+            ratio = self._start_ratio * (
+                (self._end_ratio / self._start_ratio) ** progress
+            )
+            json_volume = html * ratio
+            noise = lambda: self._rng.uniform(0.96, 1.04)
+            counts: Dict[str, int] = {
+                "application/json": int(json_volume * noise()),
+                "text/html": int(html * noise()),
+                "text/css": int(html * 0.8 * noise()),
+                "application/javascript": int(html * 1.5 * noise()),
+                "image/jpeg": int(html * 2.5 * noise()),
+            }
+            volumes.append(MonthlyVolume(year=year, month=month, counts=counts))
+        return volumes
+
+    def ratio_series(self) -> List[Tuple[str, float]]:
+        """(month label, JSON:HTML ratio) pairs — the Figure 1 line."""
+        return [
+            (volume.label, volume.ratio("application/json", "text/html"))
+            for volume in self.series()
+        ]

@@ -1,0 +1,176 @@
+"""Dataset self-validation against the paper's calibration targets.
+
+Anyone regenerating datasets with custom knobs needs to know whether
+the result still matches the paper's aggregates before trusting
+downstream analyses.  :func:`validate_dataset` measures every §4
+marginal on a built dataset and reports each against its
+:class:`repro.synth.calibration.PaperTargets` value with a tolerance
+and verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .calibration import PAPER, PaperTargets
+from .workload import Dataset
+
+__all__ = ["CalibrationCheck", "ValidationReport", "validate_dataset"]
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One target vs measured comparison."""
+
+    name: str
+    target: float
+    measured: float
+    tolerance: float
+
+    @property
+    def deviation(self) -> float:
+        return abs(self.measured - self.target)
+
+    @property
+    def passed(self) -> bool:
+        return self.deviation <= self.tolerance
+
+    def render(self) -> str:
+        verdict = "ok  " if self.passed else "FAIL"
+        return (
+            f"[{verdict}] {self.name:38s} target {self.target:7.3f}  "
+            f"measured {self.measured:7.3f}  (±{self.tolerance:.3f})"
+        )
+
+
+@dataclass
+class ValidationReport:
+    """All calibration checks for one dataset."""
+
+    checks: List[CalibrationCheck]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> List[CalibrationCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def render(self) -> str:
+        lines = [check.render() for check in self.checks]
+        lines.append(
+            f"{sum(c.passed for c in self.checks)}/{len(self.checks)} "
+            "calibration checks passed"
+        )
+        return "\n".join(lines)
+
+
+def validate_dataset(
+    dataset: Dataset,
+    targets: Optional[PaperTargets] = None,
+) -> ValidationReport:
+    """Measure a dataset's §4 marginals against the paper targets.
+
+    Tolerances are scale-aware defaults: wide enough for the sampling
+    noise of ~50k-request datasets, tight enough to catch a
+    mis-tuned knob.
+    """
+    # Imported lazily: repro.analysis depends on repro.synth for the
+    # trend types, so a module-level import here would be circular.
+    from ..analysis.cacheability import analyze_cacheability
+    from ..analysis.characterize import characterize
+    from ..analysis.trend import snapshot_ratio
+
+    targets = targets or PAPER
+    json_logs = [record for record in dataset.logs if record.is_json]
+    source, request_type = characterize(json_logs, json_only=False)
+    cache_stats, heatmap = analyze_cacheability(json_logs, json_only=False)
+    device_shares = source.device_shares()
+
+    checks: List[CalibrationCheck] = [
+        CalibrationCheck(
+            "device share: mobile",
+            targets.device_mix["mobile"],
+            device_shares.get("mobile", 0.0),
+            0.05,
+        ),
+        CalibrationCheck(
+            "device share: embedded",
+            targets.device_mix["embedded"],
+            device_shares.get("embedded", 0.0),
+            0.04,
+        ),
+        CalibrationCheck(
+            "device share: desktop",
+            targets.device_mix["desktop"],
+            device_shares.get("desktop", 0.0),
+            0.04,
+        ),
+        CalibrationCheck(
+            "device share: unknown",
+            targets.device_mix["unknown"],
+            device_shares.get("unknown", 0.0),
+            0.05,
+        ),
+        CalibrationCheck(
+            "non-browser fraction",
+            targets.non_browser_fraction,
+            source.non_browser_fraction,
+            0.04,
+        ),
+        CalibrationCheck(
+            "mobile-browser fraction",
+            targets.mobile_browser_fraction,
+            source.mobile_browser_fraction,
+            0.02,
+        ),
+        CalibrationCheck(
+            "GET fraction",
+            targets.get_fraction,
+            request_type.get_fraction,
+            0.06,
+        ),
+        CalibrationCheck(
+            "POST share of non-GET",
+            targets.post_share_of_non_get,
+            request_type.post_share_of_non_get,
+            0.08,
+        ),
+        CalibrationCheck(
+            "uncacheable JSON fraction",
+            targets.uncacheable_fraction,
+            cache_stats.uncacheable_fraction,
+            0.09,
+        ),
+        CalibrationCheck(
+            "never-cacheable domains",
+            targets.domains_never_cacheable,
+            heatmap.never_cacheable_share(),
+            0.10,
+        ),
+        CalibrationCheck(
+            "always-cacheable domains",
+            targets.domains_always_cacheable,
+            heatmap.always_cacheable_share(),
+            0.10,
+        ),
+        CalibrationCheck(
+            "planted periodic fraction",
+            targets.periodic_request_fraction,
+            dataset.ground_truth.periodic_fraction,
+            0.02,
+        ),
+    ]
+    ratio = snapshot_ratio(dataset.logs)
+    if ratio != float("inf"):
+        checks.append(
+            CalibrationCheck(
+                "JSON:HTML snapshot ratio",
+                targets.json_html_ratio_2019,
+                ratio,
+                1.8,
+            )
+        )
+    return ValidationReport(checks=checks)

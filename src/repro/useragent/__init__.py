@@ -1,0 +1,51 @@
+"""User-agent substrate: parsing, reference databases, classification,
+and a generation grammar for the synthetic-traffic model.
+"""
+
+from .appid import AppIdentity, AppUsageReport, aggregate_apps, identify_app
+from .classify import UserAgentClassifier, classify_user_agent
+from .database import (
+    BROWSER_DATABASE,
+    DEVICE_DATABASE,
+    SDK_TOKENS,
+    BrowserEntry,
+    DeviceEntry,
+    lookup_browser,
+    lookup_device,
+)
+from .parser import ParsedUserAgent, ProductToken, parse_user_agent
+from .strings import (
+    UA_FACTORIES,
+    make_desktop_browser_ua,
+    make_embedded_ua,
+    make_malformed_ua,
+    make_mobile_app_ua,
+    make_mobile_browser_ua,
+    make_sdk_ua,
+)
+
+__all__ = [
+    "AppIdentity",
+    "AppUsageReport",
+    "aggregate_apps",
+    "identify_app",
+    "ParsedUserAgent",
+    "ProductToken",
+    "parse_user_agent",
+    "BrowserEntry",
+    "DeviceEntry",
+    "BROWSER_DATABASE",
+    "DEVICE_DATABASE",
+    "SDK_TOKENS",
+    "lookup_browser",
+    "lookup_device",
+    "UserAgentClassifier",
+    "classify_user_agent",
+    "UA_FACTORIES",
+    "make_mobile_browser_ua",
+    "make_desktop_browser_ua",
+    "make_mobile_app_ua",
+    "make_embedded_ua",
+    "make_sdk_ua",
+    "make_malformed_ua",
+]

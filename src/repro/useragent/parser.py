@@ -1,0 +1,142 @@
+"""User-agent string parsing.
+
+User-agent values are semi-structured: a sequence of
+``product/version`` tokens interleaved with parenthesized comment
+groups (RFC 7231 §5.5.3), but real traffic deviates wildly — bare app
+identifiers, locale-suffixed library names, or free text.  The parser
+here is therefore *tolerant*: it extracts what it can and never
+raises on garbage input, which is exactly the posture a log-analysis
+pipeline needs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ProductToken", "ParsedUserAgent", "parse_user_agent"]
+
+_PRODUCT_RE = re.compile(r"([A-Za-z0-9_.+!-]+)(?:/([^\s()]+))?")
+
+
+@dataclass(frozen=True)
+class ProductToken:
+    """One ``name/version`` product token from a user-agent string."""
+
+    name: str
+    version: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.version is None:
+            return self.name
+        return f"{self.name}/{self.version}"
+
+
+@dataclass(frozen=True)
+class ParsedUserAgent:
+    """Structured view of a user-agent string.
+
+    Attributes
+    ----------
+    raw:
+        The original string.
+    products:
+        Product tokens in order of appearance.
+    comments:
+        Contents of parenthesized comment groups, split on ``;`` and
+        stripped, flattened in order.
+    """
+
+    raw: str
+    products: Tuple[ProductToken, ...] = ()
+    comments: Tuple[str, ...] = ()
+
+    @property
+    def primary_product(self) -> Optional[ProductToken]:
+        """The first product token, or None for token-free strings."""
+        return self.products[0] if self.products else None
+
+    def product_names(self) -> List[str]:
+        """All product-token names, original casing."""
+        return [token.name for token in self.products]
+
+    def has_product(self, name: str) -> bool:
+        """Case-insensitive product-name membership test."""
+        lowered = name.lower()
+        return any(token.name.lower() == lowered for token in self.products)
+
+    def product_version(self, name: str) -> Optional[str]:
+        """Version of the first product with this name, if any."""
+        lowered = name.lower()
+        for token in self.products:
+            if token.name.lower() == lowered:
+                return token.version
+        return None
+
+    def has_comment_token(self, text: str) -> bool:
+        """Case-insensitive substring test over comment fragments."""
+        lowered = text.lower()
+        return any(lowered in comment.lower() for comment in self.comments)
+
+    def contains(self, text: str) -> bool:
+        """Case-insensitive substring test over the raw string."""
+        return text.lower() in self.raw.lower()
+
+
+def _split_comment_groups(value: str) -> Tuple[str, List[str]]:
+    """Remove parenthesized groups, returning (rest, group contents).
+
+    Handles nested parentheses by tracking depth; unbalanced strings
+    are handled by treating the remainder as one group.
+    """
+    rest: List[str] = []
+    groups: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in value:
+        if char == "(":
+            if depth == 0:
+                current = []
+            else:
+                current.append(char)
+            depth += 1
+        elif char == ")" and depth > 0:
+            depth -= 1
+            if depth == 0:
+                groups.append("".join(current))
+            else:
+                current.append(char)
+        elif depth > 0:
+            current.append(char)
+        else:
+            rest.append(char)
+    if depth > 0 and current:
+        groups.append("".join(current))
+    return "".join(rest), groups
+
+
+def parse_user_agent(value: Optional[str]) -> ParsedUserAgent:
+    """Parse a user-agent header value; never raises.
+
+    ``None`` and empty strings yield an empty parse with ``raw == ""``.
+
+    Examples
+    --------
+    >>> ua = parse_user_agent("NewsApp/5.2 (iPhone; iOS 13.1) CFNetwork/1107.1")
+    >>> ua.primary_product.name
+    'NewsApp'
+    >>> ua.has_comment_token("iphone")
+    True
+    """
+    if not value:
+        return ParsedUserAgent(raw="")
+    rest, groups = _split_comment_groups(value)
+    products = tuple(
+        ProductToken(match.group(1), match.group(2))
+        for match in _PRODUCT_RE.finditer(rest)
+    )
+    comments: List[str] = []
+    for group in groups:
+        comments.extend(part.strip() for part in group.split(";") if part.strip())
+    return ParsedUserAgent(raw=value, products=products, comments=tuple(comments))

@@ -1,0 +1,224 @@
+"""User-agent string generation.
+
+The synthetic-traffic substrate needs realistic user-agent strings so
+the classifier faces the same parsing problem it would on production
+logs.  Each ``make_*`` function renders one string from a grammar of
+real-world templates, driven by a caller-supplied
+:class:`random.Random` so datasets are reproducible.
+
+The generated population intentionally includes webviews, bare SDK
+tokens, and malformed strings — the classifier must earn its
+``UNKNOWN`` bucket.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "make_mobile_browser_ua",
+    "make_desktop_browser_ua",
+    "make_mobile_app_ua",
+    "make_embedded_ua",
+    "make_sdk_ua",
+    "make_malformed_ua",
+    "UA_FACTORIES",
+]
+
+_ANDROID_VERSIONS = ["8.1.0", "9", "10", "11"]
+_ANDROID_MODELS = [
+    "Pixel 3", "Pixel 4", "SM-G960F", "SM-G973U", "SM-A505FN",
+    "Moto G (7)", "ONEPLUS A6013", "Redmi Note 7", "LM-Q720",
+]
+_IOS_VERSIONS = ["12_4", "13_1", "13_3", "13_5", "14_0"]
+_CHROME_VERSIONS = ["74.0.3729.157", "75.0.3770.101", "76.0.3809.132",
+                    "77.0.3865.90", "78.0.3904.108"]
+_FIREFOX_VERSIONS = ["68.0", "69.0", "70.0"]
+_SAFARI_VERSIONS = ["12.1.2", "13.0.1", "13.0.3"]
+_WINDOWS_VERSIONS = ["10.0", "6.1", "6.3"]
+_MAC_VERSIONS = ["10_14_6", "10_15", "10_15_1"]
+
+_APP_NAMES = [
+    "NewsReader", "ScoreCenter", "StreamBox", "ChatLink", "ShopFast",
+    "FitTrack", "WeatherNow", "PhotoShare", "RideHail", "BankSecure",
+    "GameHub", "PodCatcher", "MapQuestr", "FoodDash", "CryptoWatch",
+]
+
+
+def _semver(rng: random.Random, major_max: int = 9) -> str:
+    return f"{rng.randint(1, major_max)}.{rng.randint(0, 20)}.{rng.randint(0, 9)}"
+
+
+def make_mobile_browser_ua(rng: random.Random) -> str:
+    """A well-formed mobile browser UA (Chrome on Android / iOS Safari)."""
+    if rng.random() < 0.6:
+        android = rng.choice(_ANDROID_VERSIONS)
+        model = rng.choice(_ANDROID_MODELS)
+        chrome = rng.choice(_CHROME_VERSIONS)
+        return (
+            f"Mozilla/5.0 (Linux; Android {android}; {model}) "
+            f"AppleWebKit/537.36 (KHTML, like Gecko) "
+            f"Chrome/{chrome} Mobile Safari/537.36"
+        )
+    ios = rng.choice(_IOS_VERSIONS)
+    safari = rng.choice(_SAFARI_VERSIONS)
+    return (
+        f"Mozilla/5.0 (iPhone; CPU iPhone OS {ios} like Mac OS X) "
+        f"AppleWebKit/605.1.15 (KHTML, like Gecko) "
+        f"Version/{safari} Mobile/15E148 Safari/604.1"
+    )
+
+
+def make_desktop_browser_ua(rng: random.Random) -> str:
+    """A well-formed desktop browser UA (Chrome/Firefox/Safari/Edge)."""
+    roll = rng.random()
+    if roll < 0.5:
+        windows = rng.choice(_WINDOWS_VERSIONS)
+        chrome = rng.choice(_CHROME_VERSIONS)
+        return (
+            f"Mozilla/5.0 (Windows NT {windows}; Win64; x64) "
+            f"AppleWebKit/537.36 (KHTML, like Gecko) "
+            f"Chrome/{chrome} Safari/537.36"
+        )
+    if roll < 0.7:
+        firefox = rng.choice(_FIREFOX_VERSIONS)
+        return (
+            f"Mozilla/5.0 (X11; Ubuntu; Linux x86_64; rv:{firefox}) "
+            f"Gecko/20100101 Firefox/{firefox}"
+        )
+    if roll < 0.9:
+        mac = rng.choice(_MAC_VERSIONS)
+        safari = rng.choice(_SAFARI_VERSIONS)
+        return (
+            f"Mozilla/5.0 (Macintosh; Intel Mac OS X {mac}) "
+            f"AppleWebKit/605.1.15 (KHTML, like Gecko) "
+            f"Version/{safari} Safari/605.1.15"
+        )
+    chrome = rng.choice(_CHROME_VERSIONS)
+    return (
+        f"Mozilla/5.0 (Windows NT 10.0; Win64; x64) "
+        f"AppleWebKit/537.36 (KHTML, like Gecko) "
+        f"Chrome/{chrome} Safari/537.36 Edg/{chrome}"
+    )
+
+
+def make_mobile_app_ua(rng: random.Random, app_name: Optional[str] = None) -> str:
+    """A native mobile-app UA: custom token, HTTP library, or webview."""
+    name = app_name or rng.choice(_APP_NAMES)
+    version = _semver(rng)
+    roll = rng.random()
+    if roll < 0.35:  # iOS app with CFNetwork stack
+        ios = rng.choice(_IOS_VERSIONS).replace("_", ".")
+        return (
+            f"{name}/{version} (iPhone; iOS {ios}; Scale/3.00) "
+            f"CFNetwork/1107.1 Darwin/19.0.0"
+        )
+    if roll < 0.65:  # Android app over okhttp
+        return f"{name}/{version} (Android {rng.choice(_ANDROID_VERSIONS)}) okhttp/3.12.1"
+    if roll < 0.8:  # bare Dalvik (Android HttpURLConnection default)
+        android = rng.choice(_ANDROID_VERSIONS)
+        model = rng.choice(_ANDROID_MODELS)
+        return (
+            f"Dalvik/2.1.0 (Linux; U; Android {android}; {model} Build/QQ3A.200805.001)"
+        )
+    # Android WebView-embedding app ("; wv" marker)
+    android = rng.choice(_ANDROID_VERSIONS)
+    model = rng.choice(_ANDROID_MODELS)
+    chrome = rng.choice(_CHROME_VERSIONS)
+    return (
+        f"Mozilla/5.0 (Linux; Android {android}; {model}; wv) "
+        f"AppleWebKit/537.36 (KHTML, like Gecko) Version/4.0 "
+        f"Chrome/{chrome} Mobile Safari/537.36 {name}/{version}"
+    )
+
+
+def make_embedded_ua(rng: random.Random) -> str:
+    """An embedded-device UA: console, smart TV, watch, or IoT node."""
+    roll = rng.random()
+    if roll < 0.3:  # game consoles
+        return rng.choice(
+            [
+                "Mozilla/5.0 (PlayStation 4 7.02) AppleWebKit/605.1.15 (KHTML, like Gecko)",
+                f"libhttp/7.02 (PlayStation 4) CoreMedia/1.0",
+                "Mozilla/5.0 (Windows NT 10.0; Win64; x64; Xbox; Xbox One) "
+                "AppleWebKit/537.36 (KHTML, like Gecko) Edge/44.18363.8131",
+                "Mozilla/5.0 (Nintendo Switch; WifiWebAuthApplet) "
+                "AppleWebKit/606.4 (KHTML, like Gecko) NF/6.0.1.15.4 NintendoBrowser/5.1.0.20393",
+            ]
+        )
+    if roll < 0.6:  # smart TVs / sticks
+        return rng.choice(
+            [
+                "Mozilla/5.0 (SMART-TV; Linux; Tizen 5.0) AppleWebKit/537.36 "
+                "(KHTML, like Gecko) Version/5.0 TV Safari/537.36",
+                "Roku/DVP-9.10 (519.10E04111A)",
+                f"AppleTV6,2/11.1 tvOS/13.0",
+                "Mozilla/5.0 (Web0S; Linux/SmartTV) AppleWebKit/537.36 "
+                "(KHTML, like Gecko) Chrome/38.0.2125.122 Safari/537.36 WebAppManager",
+                "Dalvik/2.1.0 (Linux; U; Android 7.1.2; AFTS Build/NS6265)",
+            ]
+        )
+    if roll < 0.85:  # wearables
+        return rng.choice(
+            [
+                f"ScoreCenter/{_semver(rng)} (Apple Watch; watchOS 6.0) CFNetwork/1107.1",
+                f"FitTrack/{_semver(rng)} (Wear OS 2.1; en_US)",
+                "server-bag [Watch OS,6.0,17R575,Watch4,4]",
+            ]
+        )
+    # IoT firmware clients
+    return rng.choice(
+        [
+            f"ESP8266HTTPClient/{_semver(rng, 2)}",
+            f"ESP32-http-client/{_semver(rng, 2)}",
+            f"SmartThings/{_semver(rng)} (hub firmware)",
+            f"sensor-gw/{_semver(rng, 3)} ESP32 lwIP/2.1.2",
+        ]
+    )
+
+
+def make_sdk_ua(rng: random.Random) -> str:
+    """A bare HTTP-library / script UA (non-device traffic)."""
+    return rng.choice(
+        [
+            f"python-requests/2.{rng.randint(18, 24)}.0",
+            f"curl/7.{rng.randint(47, 68)}.0",
+            "Go-http-client/1.1",
+            f"Java/1.8.0_{rng.randint(121, 252)}",
+            f"Apache-HttpClient/4.5.{rng.randint(1, 12)} (Java/1.8.0_181)",
+            f"axios/0.{rng.randint(18, 21)}.0",
+            f"okhttp/{rng.randint(2, 4)}.{rng.randint(0, 12)}.0",
+            "aiohttp/3.6.2",
+        ]
+    )
+
+
+def make_malformed_ua(rng: random.Random) -> str:
+    """A junk UA a classifier must not choke on (nor misclassify)."""
+    return rng.choice(
+        [
+            "-",
+            "()",
+            "Mozilla",
+            "null",
+            "custom agent string without structure",
+            "%%UA%%",
+            "MyService",
+            "0",
+            "Mozilla/5.0 (compatible)",
+            "(((((",
+        ]
+    )
+
+
+#: Factory registry keyed by population-segment name; the synthetic
+#: client model samples from this.
+UA_FACTORIES: Dict[str, Callable[[random.Random], str]] = {
+    "mobile_browser": make_mobile_browser_ua,
+    "desktop_browser": make_desktop_browser_ua,
+    "mobile_app": make_mobile_app_ua,
+    "embedded": make_embedded_ua,
+    "sdk": make_sdk_ua,
+    "malformed": make_malformed_ua,
+}

@@ -1,0 +1,64 @@
+"""Shared fixtures: small reproducible datasets and log factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logs.record import CacheStatus, HttpMethod, RequestLog
+from repro.synth.workload import (
+    WorkloadBuilder,
+    long_term_config,
+    short_term_config,
+)
+
+
+def make_log(**overrides) -> RequestLog:
+    """A valid baseline log record with per-test overrides."""
+    defaults = dict(
+        timestamp=1_559_347_200.0,
+        client_ip_hash="ab12cd34ef56ab78",
+        user_agent="NewsReader/5.2.1 (iPhone; iOS 13.1; Scale/3.00) CFNetwork/1107.1",
+        method=HttpMethod.GET,
+        domain="fastnews.example.com",
+        url="/api/v1/home",
+        mime_type="application/json",
+        status=200,
+        response_bytes=2048,
+        cache_status=CacheStatus.HIT,
+        request_bytes=0,
+        ttl_seconds=300.0,
+        edge_id="edge-1",
+    )
+    defaults.update(overrides)
+    return RequestLog(**defaults)
+
+
+@pytest.fixture
+def log_factory():
+    return make_log
+
+
+@pytest.fixture(scope="session")
+def short_dataset():
+    """A small short-term dataset shared across the test session."""
+    return WorkloadBuilder(
+        short_term_config(total_requests=12_000, seed=42)
+    ).build()
+
+
+@pytest.fixture(scope="session")
+def long_dataset():
+    """A small long-term dataset shared across the test session."""
+    return WorkloadBuilder(
+        long_term_config(total_requests=20_000, seed=42, num_domains=60)
+    ).build()
+
+
+@pytest.fixture(scope="session")
+def short_json_logs(short_dataset):
+    return [record for record in short_dataset.logs if record.is_json]
+
+
+@pytest.fixture(scope="session")
+def long_json_logs(long_dataset):
+    return [record for record in long_dataset.logs if record.is_json]

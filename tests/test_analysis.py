@@ -1,0 +1,180 @@
+"""Tests for repro.analysis: characterization, sizes, cacheability, trend."""
+
+import pytest
+
+from repro.analysis.cacheability import (
+    CacheabilityHeatmap,
+    DomainCacheability,
+    analyze_cacheability,
+)
+from repro.analysis.characterize import characterize
+from repro.analysis.sizes import SizeComparison, analyze_sizes, compare_sizes
+from repro.analysis.trend import analyze_trend, snapshot_ratio
+from repro.logs.record import CacheStatus, HttpMethod
+from repro.synth.trend import TrendModel
+from tests.conftest import make_log
+
+
+class TestCharacterize:
+    def test_device_shares_sum_to_one(self, short_json_logs):
+        source, _ = characterize(short_json_logs, json_only=False)
+        assert sum(source.device_shares().values()) == pytest.approx(1.0)
+
+    def test_figure3_shape(self, short_json_logs):
+        """Mobile dominates; embedded ~12%; unknown ~24% (Figure 3)."""
+        source, _ = characterize(short_json_logs, json_only=False)
+        shares = source.device_shares()
+        assert shares["mobile"] > 0.45
+        assert 0.06 < shares["embedded"] < 0.20
+        assert 0.15 < shares["unknown"] < 0.35
+
+    def test_non_browser_majority(self, short_json_logs):
+        source, _ = characterize(short_json_logs, json_only=False)
+        assert source.non_browser_fraction > 0.8
+
+    def test_no_embedded_browser_traffic(self, short_json_logs):
+        source, _ = characterize(short_json_logs, json_only=False)
+        assert source.embedded_browser_fraction == 0.0
+
+    def test_mobile_app_at_least_half(self, short_json_logs):
+        source, _ = characterize(short_json_logs, json_only=False)
+        assert source.mobile_app_fraction > 0.45
+
+    def test_get_majority(self, short_json_logs):
+        _, request_type = characterize(short_json_logs, json_only=False)
+        assert 0.75 < request_type.get_fraction < 0.92
+
+    def test_post_dominates_non_get(self, short_json_logs):
+        _, request_type = characterize(short_json_logs, json_only=False)
+        assert request_type.post_share_of_non_get > 0.9
+
+    def test_json_filter_applied(self, short_dataset):
+        all_logs = short_dataset.logs
+        source, _ = characterize(all_logs, json_only=True)
+        json_count = sum(1 for record in all_logs if record.is_json)
+        assert source.total_requests == json_count
+
+    def test_ua_string_mix_mobile_dominant(self, short_json_logs):
+        source, _ = characterize(short_json_logs, json_only=False)
+        mix = source.ua_string_shares()
+        assert mix.get("mobile", 0) > max(
+            mix.get("desktop", 0), mix.get("embedded", 0)
+        )
+
+    def test_empty_logs(self):
+        source, request_type = characterize([])
+        assert source.total_requests == 0
+        assert source.device_shares() == {}
+        assert request_type.get_fraction == 0.0
+
+
+class TestSizes:
+    def test_distributions_collected(self, short_dataset):
+        distributions = analyze_sizes(short_dataset.logs)
+        assert distributions["application/json"].count > 0
+        assert distributions["text/html"].count > 0
+
+    def test_comparison_shape(self, short_dataset):
+        """JSON smaller at p50, dramatically smaller at p75 (§4)."""
+        comparison = compare_sizes(short_dataset.logs)
+        assert 0.0 < comparison.smaller_at_p50 < 0.5
+        assert comparison.smaller_at_p75 > 0.7
+        assert comparison.smaller_at_p75 > comparison.smaller_at_p50
+
+    def test_summary_keys(self, short_dataset):
+        distributions = analyze_sizes(short_dataset.logs)
+        summary = distributions["application/json"].summary()
+        for key in ("count", "mean", "p50", "p75"):
+            assert key in summary
+
+    def test_percentile_validates_empty(self):
+        distributions = analyze_sizes([])
+        with pytest.raises(ValueError):
+            distributions["application/json"].percentile(50)
+
+
+class TestCacheability:
+    def test_request_level_uncacheable(self, short_json_logs):
+        stats, _ = analyze_cacheability(short_json_logs, json_only=False)
+        assert abs(stats.uncacheable_fraction - 0.55) < 0.15
+
+    def test_origin_fraction_includes_misses(self):
+        logs = [
+            make_log(cache_status=CacheStatus.HIT),
+            make_log(cache_status=CacheStatus.MISS),
+            make_log(cache_status=CacheStatus.NO_STORE, ttl_seconds=None),
+        ]
+        stats, _ = analyze_cacheability(logs, json_only=False)
+        assert stats.origin_fraction == pytest.approx(2 / 3)
+
+    def test_heatmap_marginals(self, short_dataset, short_json_logs):
+        categories = {d.name: d.category.value for d in short_dataset.domains}
+        _, heatmap = analyze_cacheability(short_json_logs, categories,
+                                          json_only=False)
+        shares = heatmap.bucket_shares()
+        # Figure 4: ~50% never-cacheable, ~30% always-cacheable domains.
+        assert abs(shares["never"] - 0.50) < 0.15
+        assert abs(shares["always"] - 0.30) < 0.15
+
+    def test_category_story_holds(self, short_dataset, short_json_logs):
+        """Financial/Streaming/Gaming less cacheable than News/Sports."""
+        categories = {d.name: d.category.value for d in short_dataset.domains}
+        _, heatmap = analyze_cacheability(short_json_logs, categories,
+                                          json_only=False)
+        dynamic = [
+            heatmap.category_cacheable_share(c)
+            for c in ("Financial Services", "Streaming", "Gaming")
+            if any((s.category or "") == c for s in heatmap.domains.values())
+        ]
+        static = [
+            heatmap.category_cacheable_share(c)
+            for c in ("News/Media", "Sports")
+            if any((s.category or "") == c for s in heatmap.domains.values())
+        ]
+        if dynamic and static:
+            assert max(dynamic) < min(static)
+
+    def test_bucket_boundaries(self):
+        assert CacheabilityHeatmap.bucket_for(0.0) == "never"
+        assert CacheabilityHeatmap.bucket_for(1.0) == "always"
+        assert CacheabilityHeatmap.bucket_for(0.5) == "mid"
+        assert CacheabilityHeatmap.bucket_for(0.1) == "low"
+        assert CacheabilityHeatmap.bucket_for(0.9) == "high"
+
+    def test_unknown_category_defaulted(self):
+        heatmap = CacheabilityHeatmap()
+        heatmap.add_domain(DomainCacheability("x.com", None, 1, 2))
+        assert "Unknown" in heatmap.cells
+
+    def test_rows_normalized(self, short_dataset, short_json_logs):
+        categories = {d.name: d.category.value for d in short_dataset.domains}
+        _, heatmap = analyze_cacheability(short_json_logs, categories,
+                                          json_only=False)
+        for _, buckets in heatmap.rows():
+            assert sum(buckets.values()) == pytest.approx(1.0)
+
+
+class TestTrend:
+    def test_figure1_growth(self):
+        analysis = analyze_trend(TrendModel(seed=0).series())
+        assert analysis.end_ratio > 4.0
+        assert analysis.growth_factor > 3.0
+
+    def test_crossover_happens_early(self):
+        analysis = analyze_trend(TrendModel(seed=0).series())
+        assert analysis.crossover_month().startswith("2016")
+
+    def test_smoothed_trend_monotonic(self):
+        analysis = analyze_trend(TrendModel(seed=0).series())
+        assert analysis.is_monotonic_trend()
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_trend([])
+
+    def test_snapshot_ratio(self, short_dataset):
+        ratio = snapshot_ratio(short_dataset.logs)
+        assert 2.5 < ratio < 8.0
+
+    def test_snapshot_ratio_no_html(self):
+        assert snapshot_ratio([make_log()]) == float("inf")

@@ -1,0 +1,86 @@
+"""Tests for repro.analysis.cost."""
+
+import pytest
+
+from repro.analysis.cost import ContentCost, CostModel, serving_costs
+from repro.synth.sizes import json_size_scale
+from tests.conftest import make_log
+
+
+class TestCostModel:
+    def test_request_cost_components(self):
+        model = CostModel(per_request=10.0, per_kilobyte=2.0)
+        assert model.request_cost(0) == 10.0
+        assert model.request_cost(2048) == pytest.approx(14.0)
+
+    def test_cost_per_byte_rises_as_sizes_shrink(self):
+        """The §4 provisioning claim in one assertion."""
+        model = CostModel()
+        assert model.cost_per_byte(1_000) > model.cost_per_byte(10_000)
+
+    def test_cost_per_byte_28pct_size_decrease(self):
+        """Quantify §4: the 2016→2019 JSON shrink raises cost/byte."""
+        model = CostModel()
+        size_2016 = 10_000.0
+        size_2019 = size_2016 * json_size_scale(2019) / json_size_scale(2016)
+        increase = model.cost_per_byte(size_2019) / model.cost_per_byte(
+            size_2016
+        )
+        assert increase > 1.15  # meaningfully more CPU per byte
+
+    def test_zero_size(self):
+        assert CostModel().cost_per_byte(0.0) == float("inf")
+
+
+class TestServingCosts:
+    def _logs(self):
+        logs = [
+            make_log(timestamp=float(i), response_bytes=2_000)
+            for i in range(10)
+        ]
+        logs += [
+            make_log(
+                timestamp=100.0 + i,
+                mime_type="text/html",
+                response_bytes=40_000,
+                url="/page",
+            )
+            for i in range(5)
+        ]
+        return logs
+
+    def test_aggregation(self):
+        costs = serving_costs(self._logs())
+        json_cost = costs["application/json"]
+        html_cost = costs["text/html"]
+        assert json_cost.requests == 10
+        assert html_cost.requests == 5
+        assert json_cost.mean_bytes == 2_000
+        assert html_cost.mean_bytes == 40_000
+
+    def test_json_costs_more_per_byte(self):
+        costs = serving_costs(self._logs())
+        assert (
+            costs["application/json"].cost_per_byte
+            > 2 * costs["text/html"].cost_per_byte
+        )
+
+    def test_html_costs_more_per_request(self):
+        costs = serving_costs(self._logs())
+        assert (
+            costs["text/html"].cost_per_request
+            > costs["application/json"].cost_per_request
+        )
+
+    def test_on_synthetic_dataset(self, short_dataset):
+        costs = serving_costs(short_dataset.logs)
+        json_cost = costs["application/json"]
+        html_cost = costs["text/html"]
+        assert json_cost.requests > html_cost.requests  # the 4x ratio
+        # The paper's point: JSON needs more CPU per delivered byte.
+        assert json_cost.cost_per_byte > html_cost.cost_per_byte
+
+    def test_empty_bucket(self):
+        costs = serving_costs([], content_types=("application/json",))
+        assert costs["application/json"].cost_per_byte == 0.0
+        assert costs["application/json"].mean_bytes == 0.0

@@ -1,0 +1,100 @@
+"""Tests for repro.analysis.drift."""
+
+import pytest
+
+from repro.analysis.drift import MetricDelta, compare_traffic, traffic_metrics
+from repro.logs.record import CacheStatus, HttpMethod
+from tests.conftest import make_log
+
+
+def batch(count, **overrides):
+    return [make_log(timestamp=float(i), **overrides) for i in range(count)]
+
+
+class TestTrafficMetrics:
+    def test_metric_vector_keys(self, short_dataset):
+        metrics = traffic_metrics(short_dataset.logs[:5000])
+        for key in (
+            "json_share",
+            "mobile_share",
+            "get_share",
+            "uncacheable_share",
+            "mean_json_bytes",
+        ):
+            assert key in metrics
+
+    def test_empty_json(self):
+        metrics = traffic_metrics(batch(3, mime_type="text/html"))
+        assert metrics == {"json_share": 0.0}
+
+    def test_json_share(self):
+        logs = batch(3) + batch(1, mime_type="text/html")
+        assert traffic_metrics(logs)["json_share"] == pytest.approx(0.75)
+
+
+class TestMetricDelta:
+    def test_absolute_and_relative(self):
+        delta = MetricDelta("x", 2.0, 3.0)
+        assert delta.absolute == pytest.approx(1.0)
+        assert delta.relative == pytest.approx(0.5)
+
+    def test_zero_before(self):
+        assert MetricDelta("x", 0.0, 1.0).relative == float("inf")
+        assert MetricDelta("x", 0.0, 0.0).relative == 0.0
+
+    def test_render_direction(self):
+        assert "↑" in MetricDelta("x", 1.0, 2.0).render()
+        assert "↓" in MetricDelta("x", 2.0, 1.0).render()
+
+
+class TestCompareTraffic:
+    def test_identical_collections_stable(self, short_dataset):
+        sample = short_dataset.logs[:4000]
+        report = compare_traffic(sample, sample)
+        assert report.stable
+        assert all(delta.absolute == 0 for delta in report.deltas)
+
+    def test_method_shift_detected(self):
+        before = batch(100, method=HttpMethod.GET)
+        after = batch(60, method=HttpMethod.GET) + batch(
+            40, method=HttpMethod.POST, request_bytes=10
+        )
+        report = compare_traffic(before, after, threshold=0.10)
+        get_delta = report.get("get_share")
+        assert get_delta is not None
+        assert get_delta.after == pytest.approx(0.6)
+        assert get_delta in report.drifted()
+
+    def test_size_shrink_detected(self):
+        before = batch(100, response_bytes=2000)
+        after = batch(100, response_bytes=1440)  # the paper's -28%
+        report = compare_traffic(before, after)
+        delta = report.get("mean_json_bytes")
+        assert delta.relative == pytest.approx(-0.28)
+        assert delta in report.drifted()
+
+    def test_cacheability_shift_detected(self):
+        before = batch(100, cache_status=CacheStatus.HIT)
+        after = batch(
+            100, cache_status=CacheStatus.NO_STORE, ttl_seconds=None
+        )
+        report = compare_traffic(before, after)
+        assert report.get("uncacheable_share").after == 1.0
+        assert not report.stable
+
+    def test_render_summary_line(self, short_dataset):
+        sample = short_dataset.logs[:2000]
+        text = compare_traffic(sample, sample).render()
+        assert "metrics drifted" in text
+
+    def test_split_dataset_halves_are_similar(self, short_dataset):
+        logs = short_dataset.logs
+        midpoint = len(logs) // 2
+        report = compare_traffic(logs[:midpoint], logs[midpoint:],
+                                 threshold=0.25)
+        # Same generator, same window → structural metrics stable.
+        structural = [
+            report.get(name)
+            for name in ("mobile_share", "get_share", "non_browser_share")
+        ]
+        assert all(abs(delta.relative) < 0.25 for delta in structural)

@@ -1,0 +1,141 @@
+"""Tests for repro.analysis.popularity."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.popularity import HeavyHitters, ObjectPopularity, rank_objects
+from tests.conftest import make_log
+
+
+def logs_with_counts(spec):
+    logs = []
+    t = 0.0
+    for url, count in spec.items():
+        for _ in range(count):
+            logs.append(make_log(timestamp=t, url=url))
+            t += 1.0
+    return logs
+
+
+class TestObjectPopularity:
+    @pytest.fixture
+    def popularity(self):
+        return rank_objects(
+            logs_with_counts({"/a": 60, "/b": 25, "/c": 10, "/d": 5})
+        )
+
+    def test_counts(self, popularity):
+        assert popularity.total == 100
+        assert popularity.object_count == 4
+
+    def test_top_share(self, popularity):
+        assert popularity.top_share(0.25) == pytest.approx(0.60)
+        assert popularity.top_share(0.50) == pytest.approx(0.85)
+        assert popularity.top_share(1.0) == pytest.approx(1.0)
+
+    def test_top_objects_filter(self, popularity):
+        top = popularity.top_objects(0.25)
+        assert len(top) == 1
+        assert next(iter(top)).endswith("/a")
+
+    def test_fraction_validated(self, popularity):
+        with pytest.raises(ValueError):
+            popularity.top_share(0.0)
+        with pytest.raises(ValueError):
+            popularity.top_objects(1.5)
+
+    def test_concentration_curve_monotone(self, popularity):
+        curve = popularity.concentration_curve()
+        shares = [share for _, share in curve]
+        assert shares == sorted(shares)
+
+    def test_empty(self):
+        empty = ObjectPopularity()
+        assert empty.top_share(0.5) == 0.0
+
+    def test_synthetic_dataset_is_concentrated(self, short_json_logs):
+        popularity = rank_objects(short_json_logs)
+        # Web-style skew: the top quarter of objects carries a clear
+        # majority of requests.
+        assert popularity.top_share(0.25) > 0.5
+
+
+class TestHeavyHitters:
+    def test_finds_dominant_key(self):
+        summary = HeavyHitters(k=5)
+        stream = ["hot"] * 500 + [f"cold-{i}" for i in range(400)]
+        random.Random(1).shuffle(stream)
+        for key in stream:
+            summary.offer(key)
+        hitters = dict(summary.hitters(min_fraction=0.2))
+        assert "hot" in hitters
+
+    def test_no_false_negatives_property(self):
+        rng = random.Random(2)
+        stream = (
+            ["a"] * 300 + ["b"] * 200 + [f"x{i}" for i in range(500)]
+        )
+        rng.shuffle(stream)
+        summary = HeavyHitters(k=9)  # threshold 1/10 of stream
+        for key in stream:
+            summary.offer(key)
+        survivors = set(summary.candidates())
+        # a (30%) and b (20%) both exceed 1/10 → must survive.
+        assert {"a", "b"} <= survivors
+
+    def test_memory_bounded(self):
+        summary = HeavyHitters(k=10)
+        for i in range(10_000):
+            summary.offer(f"key-{i}")
+        assert len(summary.candidates()) <= 10
+
+    def test_error_bound(self):
+        summary = HeavyHitters(k=9)
+        for _ in range(1000):
+            summary.offer("x")
+        assert summary.error_bound == pytest.approx(100.0)
+        assert summary.candidates()["x"] >= 1000 - summary.error_bound
+
+    def test_offer_log(self):
+        summary = HeavyHitters(k=3)
+        summary.offer_log(make_log())
+        assert summary.stream_length == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitters(k=0)
+        summary = HeavyHitters(k=3)
+        summary.offer("a")
+        with pytest.raises(ValueError):
+            summary.hitters(min_fraction=0.0)
+
+    @given(
+        st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=300),
+        st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_misra_gries_guarantee(self, stream, k):
+        """Every key with frequency > n/(k+1) survives in the summary."""
+        summary = HeavyHitters(k=k)
+        for key in stream:
+            summary.offer(key)
+        exact = Counter(stream)
+        threshold = len(stream) / (k + 1)
+        survivors = set(summary.candidates())
+        for key, count in exact.items():
+            if count > threshold:
+                assert key in survivors
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_estimates_never_overcount(self, stream):
+        summary = HeavyHitters(k=3)
+        for key in stream:
+            summary.offer(key)
+        exact = Counter(stream)
+        for key, estimate in summary.candidates().items():
+            assert estimate <= exact[key]

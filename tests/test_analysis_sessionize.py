@@ -1,0 +1,131 @@
+"""Tests for repro.analysis.sessionize and per-position accuracy."""
+
+import pytest
+
+from repro.analysis.sessionize import (
+    Session,
+    session_statistics,
+    sessionize,
+)
+from repro.ngram.evaluate import accuracy_by_position
+from repro.ngram.model import BackoffNgramModel
+from tests.conftest import make_log
+
+
+def client_stream(client, times, url="/api/v1/home"):
+    return [
+        make_log(timestamp=float(t), client_ip_hash=client, url=url)
+        for t in times
+    ]
+
+
+class TestSessionize:
+    def test_single_burst_is_one_session(self):
+        logs = client_stream("c1", [0, 10, 20, 30])
+        sessions = sessionize(logs, gap_s=300.0)
+        assert len(sessions) == 1
+        assert sessions[0].length == 4
+
+    def test_gap_splits_sessions(self):
+        logs = client_stream("c1", [0, 10, 2000, 2010])
+        sessions = sessionize(logs, gap_s=300.0)
+        assert len(sessions) == 2
+        assert [session.length for session in sessions] == [2, 2]
+
+    def test_gap_boundary_exclusive(self):
+        logs = client_stream("c1", [0, 300.0])
+        assert len(sessionize(logs, gap_s=300.0)) == 1
+        logs = client_stream("c1", [0, 300.5])
+        assert len(sessionize(logs, gap_s=300.0)) == 2
+
+    def test_clients_never_merge(self):
+        logs = client_stream("c1", [0, 10]) + client_stream("c2", [5, 15])
+        sessions = sessionize(logs, gap_s=300.0)
+        assert len(sessions) == 2
+        assert {session.client_id.split("|")[0] for session in sessions} == {
+            "c1",
+            "c2",
+        }
+
+    def test_unordered_input_handled(self):
+        logs = client_stream("c1", [30, 0, 20, 10])
+        sessions = sessionize(logs, gap_s=300.0)
+        assert sessions[0].urls() == ["/api/v1/home"] * 4
+        assert sessions[0].duration_s == 30.0
+
+    def test_json_filter(self):
+        logs = client_stream("c1", [0]) + [
+            make_log(timestamp=1.0, mime_type="text/html", client_ip_hash="c1")
+        ]
+        sessions = sessionize(logs)
+        assert sessions[0].length == 1
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            sessionize([], gap_s=0.0)
+
+    def test_sessions_sorted_by_start(self):
+        logs = client_stream("c1", [100, 110]) + client_stream("c2", [0, 10])
+        sessions = sessionize(logs)
+        starts = [session.start for session in sessions]
+        assert starts == sorted(starts)
+
+
+class TestSessionStats:
+    def test_aggregates(self):
+        logs = client_stream("c1", [0, 10, 20]) + client_stream(
+            "c2", [0, 5]
+        )
+        stats = session_statistics(sessionize(logs))
+        assert stats.total_sessions == 2
+        assert stats.mean_length == pytest.approx(2.5)
+        assert stats.length_percentile(100) == 3
+
+    def test_manifest_first_fraction(self):
+        logs = client_stream("c1", [0, 10], url="/api/v1/home")
+        logs += client_stream("c2", [0, 10], url="/api/v1/item/5")
+        stats = session_statistics(sessionize(logs))
+        assert stats.manifest_first_fraction() == pytest.approx(0.5)
+
+    def test_on_synthetic_dataset(self, long_dataset):
+        sessions = sessionize(long_dataset.logs, gap_s=300.0)
+        stats = session_statistics(sessions)
+        assert stats.total_sessions > 100
+        # App sessions average a handful of requests...
+        assert 2.0 < stats.mean_length < 30.0
+        # ...and overwhelmingly open on config/manifest endpoints
+        # (the Table 1 pattern).
+        assert stats.manifest_first_fraction(
+            ("/home", "/config", "/stories", "/poll", "/telemetry",
+             "/events", "/notifications", "/scores")
+        ) > 0.6
+
+    def test_empty(self):
+        stats = session_statistics([])
+        assert stats.mean_length == 0.0
+        assert stats.manifest_first_fraction() == 0.0
+
+
+class TestAccuracyByPosition:
+    def test_early_positions_most_predictable(self):
+        # Deterministic opening, random tail.
+        import random
+
+        rng = random.Random(3)
+        train, test = [], []
+        for _ in range(300):
+            tail = [rng.choice("wxyz") for _ in range(4)]
+            sequence = ["config", "home"] + tail
+            (train if rng.random() < 0.7 else test).append(sequence)
+        model = BackoffNgramModel(order=1).fit(train)
+        by_position = accuracy_by_position(model, test, n=1, k=1,
+                                           max_position=4)
+        assert by_position[0].accuracy > 0.95  # config → home forced
+        assert by_position[0].accuracy > by_position[-1].accuracy
+
+    def test_bucket_aggregation(self):
+        model = BackoffNgramModel(order=1).fit([["a", "b"] * 10])
+        results = accuracy_by_position(
+            model, [["a", "b"] * 10], n=1, k=1, max_position=3
+        )
+        assert results[-1].total > 1  # positions ≥3 pooled

@@ -1,0 +1,127 @@
+"""Unit tests for repro.analysis.streaming."""
+
+import pytest
+
+from repro.analysis.streaming import WindowedCharacterizer, WindowStats
+from repro.logs.record import CacheStatus, HttpMethod
+from tests.conftest import make_log
+
+
+@pytest.fixture
+def characterizer():
+    return WindowedCharacterizer(window_s=60.0)
+
+
+def stream():
+    return [
+        make_log(timestamp=10.0),
+        make_log(timestamp=20.0, mime_type="text/html"),
+        make_log(
+            timestamp=30.0,
+            method=HttpMethod.POST,
+            request_bytes=10,
+            cache_status=CacheStatus.NO_STORE,
+            ttl_seconds=None,
+        ),
+        make_log(timestamp=70.0),   # second window
+        make_log(timestamp=200.0),  # fourth window (third is empty)
+    ]
+
+
+class TestWindowing:
+    def test_window_boundaries(self, characterizer):
+        windows = list(characterizer.windows(stream()))
+        assert [w.window_start for w in windows] == [0.0, 60.0, 120.0, 180.0]
+
+    def test_counts_per_window(self, characterizer):
+        windows = list(characterizer.windows(stream()))
+        assert windows[0].total_requests == 3
+        assert windows[1].total_requests == 1
+        assert windows[2].total_requests == 0
+        assert windows[3].total_requests == 1
+
+    def test_empty_windows_emitted(self, characterizer):
+        windows = list(characterizer.windows(stream()))
+        assert windows[2].total_requests == 0
+        assert windows[2].json_share == 0.0
+
+    def test_unordered_stream_rejected(self, characterizer):
+        logs = [make_log(timestamp=100.0), make_log(timestamp=10.0)]
+        with pytest.raises(ValueError, match="time-ordered"):
+            list(characterizer.windows(logs))
+
+    def test_empty_stream(self, characterizer):
+        assert list(characterizer.windows([])) == []
+
+    def test_invalid_window_width(self):
+        with pytest.raises(ValueError):
+            WindowedCharacterizer(window_s=0)
+
+    def test_lazy_yield(self, characterizer):
+        iterator = characterizer.windows(stream())
+        first = next(iterator)
+        assert first.window_start == 0.0
+
+
+class TestWindowStats:
+    def test_json_share(self, characterizer):
+        first = next(characterizer.windows(stream()))
+        assert first.json_share == pytest.approx(2 / 3)
+
+    def test_json_html_ratio(self, characterizer):
+        first = next(characterizer.windows(stream()))
+        assert first.json_html_ratio == pytest.approx(2.0)
+
+    def test_ratio_with_no_html(self):
+        window = WindowStats(0.0, 60.0, total_requests=1, json_requests=1)
+        assert window.json_html_ratio == float("inf")
+
+    def test_get_share(self, characterizer):
+        first = next(characterizer.windows(stream()))
+        assert first.get_share == pytest.approx(2 / 3)
+
+    def test_uncacheable_share_of_json(self, characterizer):
+        first = next(characterizer.windows(stream()))
+        assert first.uncacheable_share == pytest.approx(1 / 2)
+
+    def test_device_shares(self, characterizer):
+        first = next(characterizer.windows(stream()))
+        shares = first.device_shares()
+        assert shares.get("mobile", 0) == pytest.approx(1.0)
+
+    def test_device_tracking_disabled(self):
+        characterizer = WindowedCharacterizer(window_s=60.0, track_devices=False)
+        first = next(characterizer.windows(stream()))
+        assert first.device_counts == {}
+
+    def test_client_count(self, characterizer):
+        first = next(characterizer.windows(stream()))
+        assert first.client_count == 1
+
+
+class TestSeries:
+    def test_metric_series(self, characterizer):
+        series = characterizer.series(stream(), "json_share")
+        assert len(series) == 4
+
+    def test_on_synthetic_dataset(self, short_dataset):
+        characterizer = WindowedCharacterizer(window_s=120.0)
+        windows = list(characterizer.windows(short_dataset.logs))
+        # 600s dataset → 5 windows of 120s.
+        assert 4 <= len(windows) <= 6
+        busy = [w for w in windows if w.total_requests > 100]
+        for window in busy:
+            assert 0.5 < window.json_share <= 1.0
+            assert window.client_count > 10
+
+    def test_diurnal_visible_in_long_dataset(self, long_dataset):
+        characterizer = WindowedCharacterizer(
+            window_s=3600.0, track_devices=False
+        )
+        volumes = [
+            w.total_requests for w in characterizer.windows(long_dataset.logs)
+        ]
+        assert len(volumes) >= 23
+        # The diurnal curve makes the busiest hour much busier than
+        # the quietest.
+        assert max(volumes) > 1.5 * (min(volumes) + 1)

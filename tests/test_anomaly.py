@@ -1,0 +1,229 @@
+"""Tests for repro.anomaly (periodic + sequence anomaly detection)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.anomaly.periodic import PeriodicAnomalyMonitor
+from repro.anomaly.sequence import SequenceAnomalyDetector
+from repro.logs.record import HttpMethod, RequestLog
+from repro.synth.domains import DomainPopulation
+from repro.synth.clients import ClientPopulation
+from repro.synth.sessions import SessionGenerator
+from tests.conftest import make_log
+
+
+def timer_logs(client, url, period, count, seed=0, start=0.0):
+    rng = np.random.default_rng(seed)
+    times = start + rng.uniform(0, period) + np.arange(count) * period
+    times = times + rng.normal(0, 0.25, count)
+    return [
+        make_log(timestamp=float(t), url=url, client_ip_hash=client)
+        for t in np.sort(times)
+    ]
+
+
+class TestPeriodicMonitorLearning:
+    def test_learn_from_baseline(self):
+        logs = []
+        for i in range(10):
+            logs += timer_logs(f"c{i}", "/api/v1/poll", 60.0, 20, seed=i)
+        monitor = PeriodicAnomalyMonitor()
+        baselines = monitor.learn(logs)
+        assert len(baselines) == 1
+        baseline = next(iter(baselines.values()))
+        assert abs(baseline.period_s - 60.0) <= 1.5
+
+    def test_manual_baseline(self):
+        monitor = PeriodicAnomalyMonitor()
+        monitor.set_baseline("d.com/x", 30.0)
+        assert monitor.baselines["d.com/x"].period_s == 30.0
+
+    def test_manual_baseline_validates(self):
+        monitor = PeriodicAnomalyMonitor()
+        with pytest.raises(ValueError):
+            monitor.set_baseline("d.com/x", -1.0)
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            PeriodicAnomalyMonitor(tolerance=0.0)
+
+
+class TestPeriodicMonitorChecking:
+    @pytest.fixture
+    def monitor(self):
+        monitor = PeriodicAnomalyMonitor(tolerance=0.35)
+        monitor.set_baseline("fastnews.example.com/api/v1/poll", 60.0)
+        return monitor
+
+    def _flow_times(self, period, count=12, seed=1):
+        rng = np.random.default_rng(seed)
+        return np.sort(np.arange(count) * period + rng.normal(0, 0.2, count))
+
+    def test_on_period_flow_passes(self, monitor):
+        alert = monitor.check_flow(
+            "fastnews.example.com/api/v1/poll", "c1", self._flow_times(60.0)
+        )
+        assert alert is None
+
+    def test_fast_flow_alerts(self, monitor):
+        alert = monitor.check_flow(
+            "fastnews.example.com/api/v1/poll", "c1", self._flow_times(5.0)
+        )
+        assert alert is not None
+        assert alert.speed_ratio < 0.2
+        assert "faster" in alert.describe()
+
+    def test_harmonic_slowdown_allowed(self, monitor):
+        # A device polling at exactly 2x the period (battery saver).
+        alert = monitor.check_flow(
+            "fastnews.example.com/api/v1/poll", "c1", self._flow_times(120.0)
+        )
+        assert alert is None
+
+    def test_non_harmonic_slowdown_alerts(self, monitor):
+        alert = monitor.check_flow(
+            "fastnews.example.com/api/v1/poll", "c1", self._flow_times(95.0)
+        )
+        assert alert is not None
+
+    def test_harmonics_can_be_disallowed(self):
+        monitor = PeriodicAnomalyMonitor(allow_harmonics=False)
+        monitor.set_baseline("fastnews.example.com/api/v1/poll", 60.0)
+        alert = monitor.check_flow(
+            "fastnews.example.com/api/v1/poll", "c1", self._flow_times(120.0)
+        )
+        assert alert is not None
+
+    def test_unknown_object_ignored(self, monitor):
+        assert (
+            monitor.check_flow("other.com/x", "c1", self._flow_times(5.0)) is None
+        )
+
+    def test_short_flow_not_judged(self, monitor):
+        times = self._flow_times(5.0)[:3]
+        assert (
+            monitor.check_flow(
+                "fastnews.example.com/api/v1/poll", "c1", times
+            )
+            is None
+        )
+
+    def test_scan_finds_rogue_client(self, monitor):
+        logs = []
+        for i in range(5):
+            logs += timer_logs(f"good{i}", "/api/v1/poll", 60.0, 15, seed=i)
+        logs += timer_logs("rogue", "/api/v1/poll", 4.0, 50, seed=99)
+        alerts = monitor.scan(sorted(logs, key=lambda r: r.timestamp))
+        assert len(alerts) == 1
+        assert alerts[0].client_id.startswith("rogue")
+
+    def test_scan_survives_missed_polls(self, monitor):
+        rng = np.random.default_rng(3)
+        logs = [
+            record
+            for record in timer_logs("ok", "/api/v1/poll", 60.0, 30, seed=4)
+            if rng.random() > 0.15
+        ]
+        assert monitor.scan(logs) == []
+
+
+class TestSequenceDetector:
+    @pytest.fixture(scope="class")
+    def traffic(self):
+        """Normal app traffic from the session model."""
+        domains = DomainPopulation(num_domains=5, seed=6)
+        clients = ClientPopulation(num_clients=40, seed=6)
+        generator = SessionGenerator(random.Random(6))
+        logs = []
+        timestamp = 0.0
+        for i in range(400):
+            client = clients.clients[i % len(clients)]
+            domain = domains.domains[i % len(domains)]
+            for event in generator.app_session(client, domain, timestamp):
+                logs.append(
+                    RequestLog(
+                        timestamp=event.timestamp,
+                        client_ip_hash=client.ip_hash,
+                        user_agent=client.user_agent,
+                        method=event.endpoint.method,
+                        domain=domain.name,
+                        url=event.endpoint.url,
+                        mime_type=event.endpoint.mime_type,
+                        response_bytes=100,
+                        cache_status="miss",
+                        request_bytes=0,
+                    )
+                )
+            timestamp += 1000.0
+        return sorted(logs, key=lambda record: record.timestamp), domains
+
+    def test_fit_sets_threshold(self, traffic):
+        logs, _ = traffic
+        detector = SequenceAnomalyDetector().fit(logs)
+        assert detector.threshold is not None
+        assert detector.threshold >= 0.0
+
+    def test_normal_flow_low_alert_rate(self, traffic):
+        logs, domains = traffic
+        detector = SequenceAnomalyDetector(quantile=0.01).fit(logs)
+        # A fresh organic session should mostly pass.
+        generator = SessionGenerator(random.Random(77))
+        clients = ClientPopulation(num_clients=3, seed=77)
+        session = generator.app_session(
+            clients.clients[0], domains.domains[0], 0.0
+        )
+        from repro.ngram.clustering import cluster_url
+
+        tokens = [
+            f"{domains.domains[0].name}{cluster_url(e.endpoint.url)}"
+            for e in session
+        ]
+        rate = detector.flow_anomaly_rate(tokens)
+        assert rate < 0.3
+
+    def test_scanner_flow_flagged(self, traffic):
+        logs, domains = traffic
+        detector = SequenceAnomalyDetector(quantile=0.01).fit(logs)
+        domain = domains.domains[0]
+        # A scanner probing admin paths no app ever requests.
+        scanner = [
+            f"{domain.name}/admin/login",
+            f"{domain.name}/wp-admin",
+            f"{domain.name}/.env",
+            f"{domain.name}/../../etc/passwd",
+            f"{domain.name}/backup.sql",
+        ]
+        rate = detector.flow_anomaly_rate(scanner)
+        assert rate > 0.7
+        alerts = detector.scan_flow("scanner", scanner)
+        assert alerts
+        assert "scanner" in alerts[0].describe()
+
+    def test_scan_over_logs(self, traffic):
+        logs, domains = traffic
+        detector = SequenceAnomalyDetector(quantile=0.01).fit(logs)
+        domain = domains.domains[0]
+        probe_logs = [
+            make_log(
+                timestamp=float(i),
+                url=url,
+                domain=domain.name,
+                client_ip_hash="attacker",
+            )
+            for i, url in enumerate(
+                ["/.git/config", "/etc/shadow", "/admin", "/debug/vars"]
+            )
+        ]
+        alerts = detector.scan(probe_logs)
+        assert alerts
+
+    def test_unfitted_scan_raises(self):
+        detector = SequenceAnomalyDetector()
+        with pytest.raises(RuntimeError):
+            detector.scan_flow("c", ["a", "b"])
+
+    def test_quantile_validated(self):
+        with pytest.raises(ValueError):
+            SequenceAnomalyDetector(quantile=0.9)

@@ -1,0 +1,145 @@
+"""Unit tests for repro.cdn.cache."""
+
+import pytest
+
+from repro.cdn.cache import LruTtlCache
+
+
+@pytest.fixture
+def cache():
+    return LruTtlCache(capacity_bytes=1000)
+
+
+class TestBasicOperations:
+    def test_miss_on_empty(self, cache):
+        assert cache.get("a", now=0.0) is None
+        assert cache.stats.misses == 1
+
+    def test_put_then_hit(self, cache):
+        cache.put("a", 100, now=0.0)
+        entry = cache.get("a", now=1.0)
+        assert entry is not None
+        assert entry.size_bytes == 100
+        assert cache.stats.hits == 1
+
+    def test_used_bytes_tracked(self, cache):
+        cache.put("a", 100, now=0.0)
+        cache.put("b", 200, now=0.0)
+        assert cache.used_bytes == 300
+        assert len(cache) == 2
+
+    def test_put_replaces_existing(self, cache):
+        cache.put("a", 100, now=0.0)
+        cache.put("a", 300, now=1.0)
+        assert cache.used_bytes == 300
+        assert len(cache) == 1
+
+    def test_oversized_object_rejected(self, cache):
+        assert not cache.put("big", 2000, now=0.0)
+        assert len(cache) == 0
+
+    def test_negative_size_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.put("a", -1, now=0.0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruTtlCache(0)
+
+    def test_invalidate(self, cache):
+        cache.put("a", 100, now=0.0)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.used_bytes == 0
+
+    def test_clear(self, cache):
+        cache.put("a", 100, now=0.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+
+class TestTtl:
+    def test_fresh_within_ttl(self, cache):
+        cache.put("a", 100, now=0.0, ttl=10.0)
+        assert cache.get("a", now=9.9) is not None
+
+    def test_expired_after_ttl(self, cache):
+        cache.put("a", 100, now=0.0, ttl=10.0)
+        assert cache.get("a", now=10.1) is None
+        assert cache.stats.expired == 1
+
+    def test_expired_entry_removed(self, cache):
+        cache.put("a", 100, now=0.0, ttl=10.0)
+        cache.get("a", now=20.0)
+        assert cache.used_bytes == 0
+
+    def test_no_ttl_never_expires(self, cache):
+        cache.put("a", 100, now=0.0)
+        assert cache.get("a", now=1e9) is not None
+
+    def test_default_ttl_applied(self):
+        cache = LruTtlCache(1000, default_ttl=5.0)
+        cache.put("a", 100, now=0.0)
+        assert cache.get("a", now=6.0) is None
+
+    def test_explicit_ttl_overrides_default(self):
+        cache = LruTtlCache(1000, default_ttl=5.0)
+        cache.put("a", 100, now=0.0, ttl=100.0)
+        assert cache.get("a", now=50.0) is not None
+
+    def test_contains_fresh_does_not_count(self, cache):
+        cache.put("a", 100, now=0.0, ttl=10.0)
+        assert cache.contains_fresh("a", now=5.0)
+        assert not cache.contains_fresh("a", now=15.0)
+        assert cache.stats.lookups == 0
+
+
+class TestLruEviction:
+    def test_evicts_least_recently_used(self, cache):
+        cache.put("a", 400, now=0.0)
+        cache.put("b", 400, now=1.0)
+        cache.get("a", now=2.0)  # refresh a
+        cache.put("c", 400, now=3.0)  # must evict b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_evicts_multiple_if_needed(self, cache):
+        for key, size in (("a", 300), ("b", 300), ("c", 300)):
+            cache.put(key, size, now=0.0)
+        cache.put("d", 900, now=1.0)
+        assert list(cache.keys()) == ["d"]
+        assert cache.stats.evictions == 3
+
+    def test_capacity_never_exceeded(self, cache):
+        import random
+
+        rng = random.Random(1)
+        for i in range(300):
+            cache.put(f"k{i}", rng.randint(1, 400), now=float(i))
+            assert cache.used_bytes <= cache.capacity_bytes
+
+    def test_put_refreshes_recency(self, cache):
+        cache.put("a", 400, now=0.0)
+        cache.put("b", 400, now=1.0)
+        cache.put("a", 400, now=2.0)  # re-put refreshes a
+        cache.put("c", 400, now=3.0)
+        assert "a" in cache and "b" not in cache
+
+
+class TestStats:
+    def test_hit_ratio(self, cache):
+        cache.put("a", 10, now=0.0)
+        cache.get("a", now=1.0)
+        cache.get("b", now=1.0)
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_hit_ratio_empty(self, cache):
+        assert cache.stats.hit_ratio == 0.0
+
+    def test_stores_counted(self, cache):
+        cache.put("a", 10, now=0.0)
+        cache.put("b", 10, now=0.0)
+        assert cache.stats.stores == 2

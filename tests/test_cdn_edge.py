@@ -1,0 +1,207 @@
+"""Unit tests for repro.cdn.edge, .origin, .network, .metrics."""
+
+import pytest
+
+from repro.cdn.cache import LruTtlCache
+from repro.cdn.edge import EdgeServer
+from repro.cdn.metrics import DeliveryMetrics, percentile
+from repro.cdn.network import LatencyModel
+from repro.cdn.origin import OriginFleet
+from repro.logs.record import CacheStatus
+from repro.synth.clients import Client
+from repro.synth.domains import CachePolicyKind, DomainPopulation
+from repro.synth.rng import substream
+from repro.synth.sessions import RequestEvent
+from repro.synth.sizes import SizeModel
+
+
+@pytest.fixture(scope="module")
+def domains():
+    return DomainPopulation(num_domains=30, seed=21)
+
+
+@pytest.fixture
+def edge():
+    return EdgeServer(
+        edge_id="edge-test",
+        cache=LruTtlCache(1 << 24),
+        origins=OriginFleet(),
+        latency_model=LatencyModel(substream(1, "lat")),
+        size_model=SizeModel(substream(1, "sz")),
+        rng=substream(1, "edge"),
+    )
+
+
+@pytest.fixture
+def client():
+    return Client("abcd1234", "NewsReader/1.0 (iPhone; iOS 13.1)", "mobile_app", 1.0)
+
+
+def cacheable_domain(domains):
+    for domain in domains:
+        if domain.policy.kind is CachePolicyKind.ALWAYS:
+            return domain
+    pytest.skip("no ALWAYS domain")
+
+
+def uncacheable_domain(domains):
+    for domain in domains:
+        if domain.policy.kind is CachePolicyKind.NEVER:
+            return domain
+    pytest.skip("no NEVER domain")
+
+
+class TestServePath:
+    def test_first_request_is_miss(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        event = RequestEvent(0.0, client, domain, domain.manifests[0])
+        served = edge.serve(event)
+        assert served.log.cache_status is CacheStatus.MISS
+        assert served.origin_fetch
+
+    def test_second_request_is_hit(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        event = RequestEvent(0.0, client, domain, domain.manifests[0])
+        edge.serve(event)
+        served = edge.serve(RequestEvent(1.0, client, domain, domain.manifests[0]))
+        assert served.log.cache_status is CacheStatus.HIT
+        assert not served.origin_fetch
+
+    def test_hit_size_matches_miss_size(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        event = RequestEvent(0.0, client, domain, domain.manifests[0])
+        first = edge.serve(event)
+        second = edge.serve(RequestEvent(1.0, client, domain, domain.manifests[0]))
+        assert first.log.response_bytes == second.log.response_bytes
+
+    def test_expired_after_ttl_is_miss(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        ttl = domain.policy.ttl_seconds
+        edge.serve(RequestEvent(0.0, client, domain, domain.manifests[0]))
+        served = edge.serve(
+            RequestEvent(ttl + 1.0, client, domain, domain.manifests[0])
+        )
+        assert served.log.cache_status is CacheStatus.MISS
+
+    def test_uncacheable_is_no_store(self, edge, client, domains):
+        domain = uncacheable_domain(domains)
+        served = edge.serve(RequestEvent(0.0, client, domain, domain.manifests[0]))
+        assert served.log.cache_status is CacheStatus.NO_STORE
+        assert served.log.ttl_seconds is None
+        assert served.origin_fetch
+
+    def test_uncacheable_always_origin(self, edge, client, domains):
+        domain = uncacheable_domain(domains)
+        for t in range(5):
+            served = edge.serve(
+                RequestEvent(float(t), client, domain, domain.manifests[0])
+            )
+            assert served.origin_fetch
+
+    def test_log_fields_populated(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        served = edge.serve(RequestEvent(5.0, client, domain, domain.manifests[0]))
+        log = served.log
+        assert log.timestamp == 5.0
+        assert log.client_ip_hash == client.ip_hash
+        assert log.user_agent == client.user_agent
+        assert log.domain == domain.name
+        assert log.edge_id == "edge-test"
+        assert log.response_bytes > 0
+
+    def test_origin_fleet_accounting(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        edge.serve(RequestEvent(0.0, client, domain, domain.manifests[0]))
+        edge.serve(RequestEvent(1.0, client, domain, domain.manifests[0]))
+        assert edge.origins.total_requests == 1
+        assert edge.origins.domain_stats(domain.name).requests == 1
+
+    def test_miss_latency_includes_middle_mile(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        miss = edge.serve(RequestEvent(0.0, client, domain, domain.manifests[0]))
+        hit = edge.serve(RequestEvent(1.0, client, domain, domain.manifests[0]))
+        assert miss.latency.middle_mile_s > 0
+        assert hit.latency.middle_mile_s == 0
+
+
+class TestPrefetch:
+    def test_prefetch_warms_cache(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        endpoint = domain.manifests[0]
+        assert edge.prefetch(domain.name, endpoint, 0.0, domain.policy.ttl_seconds)
+        served = edge.serve(RequestEvent(1.0, client, domain, endpoint))
+        assert served.log.cache_status is CacheStatus.HIT
+
+    def test_prefetch_skips_fresh_object(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        endpoint = domain.manifests[0]
+        edge.prefetch(domain.name, endpoint, 0.0, 300.0)
+        assert not edge.prefetch(domain.name, endpoint, 1.0, 300.0)
+
+    def test_prefetch_refuses_uncacheable(self, edge, domains):
+        domain = uncacheable_domain(domains)
+        assert not edge.prefetch(
+            domain.name, domain.manifests[0], 0.0, None
+        )
+
+    def test_prefetch_counts_origin_fetch(self, edge, domains):
+        domain = cacheable_domain(domains)
+        before = edge.origins.total_requests
+        edge.prefetch(domain.name, domain.manifests[0], 0.0, 300.0)
+        assert edge.origins.total_requests == before + 1
+
+
+class TestOriginFleet:
+    def test_offload_ratio(self):
+        fleet = OriginFleet()
+        fleet.fetch("a.com", 100)
+        assert fleet.offload_ratio(total_cdn_requests=4) == pytest.approx(0.75)
+
+    def test_offload_ratio_empty(self):
+        assert OriginFleet().offload_ratio(0) == 0.0
+
+    def test_top_domains(self):
+        fleet = OriginFleet()
+        for _ in range(3):
+            fleet.fetch("a.com", 10)
+        fleet.fetch("b.com", 10)
+        assert list(fleet.top_domains(1)) == ["a.com"]
+
+
+class TestLatencyModel:
+    def test_transfer_scales_with_size(self):
+        model = LatencyModel(substream(2, "lat"))
+        small = model.sample(1_000, origin_fetch=False)
+        large = model.sample(10_000_000, origin_fetch=False)
+        assert large.transfer_s > small.transfer_s
+
+    def test_total_is_sum(self):
+        model = LatencyModel(substream(2, "lat"))
+        sample = model.sample(1000, origin_fetch=True)
+        assert sample.total_s == pytest.approx(
+            sample.last_mile_s + sample.middle_mile_s + sample.transfer_s
+        )
+
+
+class TestDeliveryMetrics:
+    def test_percentile_nearest_rank(self):
+        assert percentile([1, 2, 3, 4], 50) == 2
+        assert percentile([1, 2, 3, 4], 100) == 4
+
+    def test_percentile_validates(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 200)
+
+    def test_metrics_accumulate(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        metrics = DeliveryMetrics()
+        endpoint = domain.manifests[0]
+        metrics.record(edge.serve(RequestEvent(0.0, client, domain, endpoint)))
+        metrics.record(edge.serve(RequestEvent(1.0, client, domain, endpoint)))
+        assert metrics.requests == 2
+        assert metrics.hits == 1
+        assert metrics.hit_ratio == pytest.approx(0.5)
+        assert metrics.mean_latency_s > 0
+        assert "p50_latency_ms" in metrics.summary()

@@ -1,0 +1,136 @@
+"""Unit tests for repro.cdn.prefetch."""
+
+import pytest
+
+from repro.cdn.cache import LruTtlCache
+from repro.cdn.edge import EdgeServer
+from repro.cdn.network import LatencyModel
+from repro.cdn.origin import OriginFleet
+from repro.cdn.prefetch import NgramPrefetcher, build_object_index
+from repro.logs.record import CacheStatus
+from repro.ngram.model import BackoffNgramModel
+from repro.synth.clients import Client
+from repro.synth.domains import CachePolicyKind, DomainPopulation
+from repro.synth.rng import substream
+from repro.synth.sessions import RequestEvent
+from repro.synth.sizes import SizeModel
+
+
+@pytest.fixture(scope="module")
+def domains():
+    return DomainPopulation(num_domains=25, seed=33)
+
+
+@pytest.fixture
+def edge():
+    return EdgeServer(
+        "edge-p",
+        LruTtlCache(1 << 24),
+        OriginFleet(),
+        LatencyModel(substream(3, "lat")),
+        SizeModel(substream(3, "sz")),
+        substream(3, "edge"),
+    )
+
+
+@pytest.fixture
+def client():
+    return Client("ddee2233", "NewsReader/2.0 (iPhone; iOS 13.1)", "mobile_app", 1.0)
+
+
+def always_domain(domains):
+    for domain in domains:
+        if domain.policy.kind is CachePolicyKind.ALWAYS:
+            return domain
+    pytest.skip("no ALWAYS domain in population")
+
+
+class TestObjectIndex:
+    def test_only_get_endpoints_indexed(self, domains):
+        index = build_object_index(list(domains))
+        for _, endpoint in index.values():
+            assert endpoint.method.is_download()
+
+    def test_keys_are_object_ids(self, domains):
+        index = build_object_index(list(domains))
+        domain = next(iter(domains))
+        key = f"{domain.name}{domain.manifests[0].url}"
+        assert key in index
+
+    def test_telemetry_not_indexed(self, domains):
+        index = build_object_index(list(domains))
+        for domain in domains:
+            for endpoint in domain.telemetry:
+                assert f"{domain.name}{endpoint.url}" not in index
+
+
+class TestPrefetcher:
+    def _trained_model(self, domain):
+        manifest = f"{domain.name}{domain.manifests[0].url}"
+        item = f"{domain.name}{domain.contents[0].url}"
+        model = BackoffNgramModel(order=1)
+        model.fit([[manifest, item]] * 20)
+        return model, manifest, item
+
+    def test_prefetch_turns_miss_into_hit(self, edge, client, domains):
+        domain = always_domain(domains)
+        model, manifest_id, item_id = self._trained_model(domain)
+        prefetcher = NgramPrefetcher(model, build_object_index([domain]), k=1)
+
+        event = RequestEvent(0.0, client, domain, domain.manifests[0])
+        edge.serve(event)
+        issued = prefetcher.on_request(edge, event)
+        assert issued == 1
+
+        follow = RequestEvent(2.0, client, domain, domain.contents[0])
+        served = edge.serve(follow)
+        assert served.log.cache_status is CacheStatus.HIT
+
+    def test_stats_track_issuance(self, edge, client, domains):
+        domain = always_domain(domains)
+        model, _, _ = self._trained_model(domain)
+        prefetcher = NgramPrefetcher(model, build_object_index([domain]), k=1)
+        event = RequestEvent(0.0, client, domain, domain.manifests[0])
+        prefetcher.on_request(edge, event)
+        assert prefetcher.stats.predictions == 1
+        assert prefetcher.stats.issued == 1
+        assert prefetcher.stats.issue_rate == 1.0
+
+    def test_fresh_object_not_prefetched_twice(self, edge, client, domains):
+        domain = always_domain(domains)
+        model, _, _ = self._trained_model(domain)
+        prefetcher = NgramPrefetcher(model, build_object_index([domain]), k=1)
+        event = RequestEvent(0.0, client, domain, domain.manifests[0])
+        prefetcher.on_request(edge, event)
+        prefetcher.on_request(edge, event)
+        assert prefetcher.stats.issued == 1
+        assert prefetcher.stats.skipped_fresh == 1
+
+    def test_unresolvable_prediction_skipped(self, edge, client, domains):
+        domain = always_domain(domains)
+        model = BackoffNgramModel(order=1)
+        manifest_id = f"{domain.name}{domain.manifests[0].url}"
+        model.fit([[manifest_id, "nonexistent.example.com/api/v1/x"]] * 5)
+        prefetcher = NgramPrefetcher(model, build_object_index([domain]), k=1)
+        event = RequestEvent(0.0, client, domain, domain.manifests[0])
+        assert prefetcher.on_request(edge, event) == 0
+        assert prefetcher.stats.skipped_unresolvable == 1
+
+    def test_history_respects_length(self, edge, client, domains):
+        domain = always_domain(domains)
+        model, _, _ = self._trained_model(domain)
+        prefetcher = NgramPrefetcher(
+            model, build_object_index([domain]), k=1, history_length=2
+        )
+        for t in range(5):
+            prefetcher.on_request(
+                edge, RequestEvent(float(t), client, domain, domain.manifests[0])
+            )
+        history = prefetcher._histories[client.client_key]
+        assert len(history) <= 2
+
+    def test_invalid_k_rejected(self, domains):
+        domain = always_domain(domains)
+        model = BackoffNgramModel(order=1)
+        with pytest.raises(ValueError):
+            NgramPrefetcher(model, build_object_index([domain]), k=0)

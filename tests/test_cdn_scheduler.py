@@ -1,0 +1,142 @@
+"""Unit tests for repro.cdn.scheduler."""
+
+import random
+
+import pytest
+
+from repro.cdn.scheduler import (
+    HUMAN,
+    MACHINE,
+    ClassMetrics,
+    Job,
+    PriorityServer,
+    simulate,
+)
+
+
+class TestJob:
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            Job(0.0, -1.0, HUMAN)
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(ValueError):
+            Job(0.0, 1.0, 7)
+
+
+class TestFifoBehaviour:
+    def test_single_job(self):
+        server = PriorityServer(priority_classes=False)
+        done = server.run([Job(0.0, 2.0, HUMAN, 1)])
+        assert done[0].start_s == 0.0
+        assert done[0].finish_s == 2.0
+        assert done[0].wait_s == 0.0
+
+    def test_back_to_back_jobs_queue(self):
+        server = PriorityServer(priority_classes=False)
+        done = server.run([Job(0.0, 2.0, HUMAN, 1), Job(0.5, 2.0, HUMAN, 2)])
+        by_id = {c.job.job_id: c for c in done}
+        assert by_id[2].start_s == 2.0
+        assert by_id[2].wait_s == pytest.approx(1.5)
+
+    def test_idle_gap_respected(self):
+        server = PriorityServer(priority_classes=False)
+        done = server.run([Job(0.0, 1.0, HUMAN, 1), Job(10.0, 1.0, HUMAN, 2)])
+        by_id = {c.job.job_id: c for c in done}
+        assert by_id[2].start_s == 10.0
+
+    def test_fifo_ignores_priority(self):
+        server = PriorityServer(priority_classes=False)
+        done = server.run(
+            [
+                Job(0.0, 5.0, MACHINE, 1),
+                Job(0.1, 1.0, MACHINE, 2),
+                Job(0.2, 1.0, HUMAN, 3),
+            ]
+        )
+        by_id = {c.job.job_id: c for c in done}
+        # Arrival order wins, so the machine job 2 runs before human 3.
+        assert by_id[2].start_s < by_id[3].start_s
+
+    def test_multi_server_parallelism(self):
+        server = PriorityServer(num_servers=2, priority_classes=False)
+        done = server.run([Job(0.0, 5.0, HUMAN, 1), Job(0.0, 5.0, HUMAN, 2)])
+        assert all(c.wait_s == 0.0 for c in done)
+
+
+class TestPriorityBehaviour:
+    def test_human_preempts_queue_order(self):
+        server = PriorityServer(priority_classes=True)
+        done = server.run(
+            [
+                Job(0.0, 5.0, MACHINE, 1),  # occupies the server
+                Job(0.1, 1.0, MACHINE, 2),
+                Job(0.2, 1.0, HUMAN, 3),
+            ]
+        )
+        by_id = {c.job.job_id: c for c in done}
+        # Human job 3 jumps ahead of machine job 2.
+        assert by_id[3].start_s < by_id[2].start_s
+
+    def test_non_preemptive(self):
+        server = PriorityServer(priority_classes=True)
+        done = server.run(
+            [Job(0.0, 5.0, MACHINE, 1), Job(0.1, 1.0, HUMAN, 2)]
+        )
+        by_id = {c.job.job_id: c for c in done}
+        # The running machine job is never interrupted.
+        assert by_id[1].finish_s == 5.0
+        assert by_id[2].start_s == 5.0
+
+    def test_all_jobs_complete(self):
+        rng = random.Random(3)
+        jobs = [
+            Job(rng.uniform(0, 100), rng.uniform(0.1, 1.0),
+                rng.choice([HUMAN, MACHINE]), i)
+            for i in range(500)
+        ]
+        done = PriorityServer(priority_classes=True).run(jobs)
+        assert len(done) == 500
+        assert {c.job.job_id for c in done} == set(range(500))
+
+    def test_work_conservation(self):
+        """Total busy time identical under both policies."""
+        rng = random.Random(5)
+        jobs = [
+            Job(rng.uniform(0, 50), rng.uniform(0.1, 0.5),
+                rng.choice([HUMAN, MACHINE]), i)
+            for i in range(300)
+        ]
+        fifo = PriorityServer(priority_classes=False).run(jobs)
+        prio = PriorityServer(priority_classes=True).run(jobs)
+        assert max(c.finish_s for c in fifo) == pytest.approx(
+            max(c.finish_s for c in prio)
+        )
+
+    def test_deprioritization_helps_humans_under_load(self):
+        """The §5.1 claim: humans wait less when machines yield."""
+        rng = random.Random(7)
+        jobs = []
+        for i in range(2000):
+            priority = MACHINE if rng.random() < 0.5 else HUMAN
+            jobs.append(Job(rng.uniform(0, 100), rng.expovariate(12), priority, i))
+        fifo = simulate(jobs, priority_classes=False)
+        prio = simulate(jobs, priority_classes=True)
+        assert prio[HUMAN].mean_wait_s < fifo[HUMAN].mean_wait_s
+        assert prio[MACHINE].mean_wait_s >= fifo[MACHINE].mean_wait_s
+
+    def test_invalid_server_count(self):
+        with pytest.raises(ValueError):
+            PriorityServer(num_servers=0)
+
+
+class TestClassMetrics:
+    def test_empty_metrics(self):
+        metrics = ClassMetrics()
+        assert metrics.mean_wait_s == 0.0
+        assert metrics.percentile_wait_s(95) == 0.0
+
+    def test_simulate_returns_both_classes(self):
+        metrics = simulate([Job(0.0, 1.0, HUMAN, 1)])
+        assert metrics[HUMAN].count == 1
+        assert metrics[MACHINE].count == 0

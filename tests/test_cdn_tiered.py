@@ -1,0 +1,183 @@
+"""Tests for the edge→parent→origin cache hierarchy."""
+
+import pytest
+
+from repro.cdn.cache import LruTtlCache
+from repro.cdn.edge import EdgeServer
+from repro.cdn.network import LatencyModel
+from repro.cdn.origin import OriginFleet
+from repro.logs.record import CacheStatus
+from repro.synth.clients import Client
+from repro.synth.domains import CachePolicyKind, DomainPopulation
+from repro.synth.rng import substream
+from repro.synth.sessions import RequestEvent
+from repro.synth.sizes import SizeModel
+
+
+@pytest.fixture(scope="module")
+def domains():
+    return DomainPopulation(num_domains=30, seed=77)
+
+
+@pytest.fixture
+def hierarchy():
+    """Two edges sharing one parent cache and one origin fleet."""
+    origins = OriginFleet()
+    parent = LruTtlCache(1 << 26)
+    size_model = SizeModel(substream(9, "sz"))
+
+    def make(edge_id):
+        return EdgeServer(
+            edge_id,
+            LruTtlCache(1 << 24),
+            origins,
+            LatencyModel(substream(9, "lat", edge_id)),
+            size_model,
+            substream(9, "edge", edge_id),
+            parent=parent,
+        )
+
+    return make("edge-a"), make("edge-b"), parent, origins
+
+
+@pytest.fixture
+def client_a():
+    return Client("aaaa1111", "NewsReader/1.0 (iPhone; iOS 13.1)", "mobile_app", 1.0)
+
+
+@pytest.fixture
+def client_b():
+    return Client("bbbb2222", "FitTrack/2.0 (Android 10) okhttp/3.12.1",
+                  "mobile_app", 1.0)
+
+
+def cacheable_domain(domains):
+    for domain in domains:
+        if domain.policy.kind is CachePolicyKind.ALWAYS:
+            return domain
+    pytest.skip("no ALWAYS domain")
+
+
+def uncacheable_domain(domains):
+    for domain in domains:
+        if domain.policy.kind is CachePolicyKind.NEVER:
+            return domain
+    pytest.skip("no NEVER domain")
+
+
+class TestHierarchy:
+    def test_sibling_miss_served_from_parent(
+        self, hierarchy, domains, client_a, client_b
+    ):
+        edge_a, edge_b, parent, origins = hierarchy
+        domain = cacheable_domain(domains)
+        endpoint = domain.manifests[0]
+        edge_a.serve(RequestEvent(0.0, client_a, domain, endpoint))
+        assert origins.total_requests == 1
+
+        served = edge_b.serve(RequestEvent(1.0, client_b, domain, endpoint))
+        # Still a miss at edge-b, but the parent spared the origin.
+        assert served.log.cache_status is CacheStatus.MISS
+        assert not served.origin_fetch
+        assert origins.total_requests == 1
+        assert edge_b.parent_hits == 1
+
+    def test_parent_populated_on_origin_fetch(
+        self, hierarchy, domains, client_a
+    ):
+        edge_a, _, parent, _ = hierarchy
+        domain = cacheable_domain(domains)
+        endpoint = domain.manifests[0]
+        object_id = f"{domain.name}{endpoint.url}"
+        edge_a.serve(RequestEvent(0.0, client_a, domain, endpoint))
+        assert parent.contains_fresh(object_id, 1.0)
+
+    def test_parent_hit_latency_between_edge_hit_and_origin(
+        self, hierarchy, domains, client_a, client_b
+    ):
+        edge_a, edge_b, _, _ = hierarchy
+        domain = cacheable_domain(domains)
+        endpoint = domain.manifests[0]
+        origin_served = edge_a.serve(RequestEvent(0.0, client_a, domain, endpoint))
+        parent_served = edge_b.serve(RequestEvent(1.0, client_b, domain, endpoint))
+        hit_served = edge_b.serve(RequestEvent(2.0, client_b, domain, endpoint))
+        assert hit_served.latency.middle_mile_s == 0.0
+        assert 0.0 < parent_served.latency.middle_mile_s
+        # Regional tier sits well inside the origin distance on average;
+        # single draws are noisy so compare against the scaled model.
+        assert parent_served.latency.middle_mile_s < origin_served.latency.middle_mile_s * 2
+
+    def test_uncacheable_bypasses_parent(self, hierarchy, domains, client_a):
+        edge_a, _, parent, origins = hierarchy
+        domain = uncacheable_domain(domains)
+        endpoint = domain.manifests[0]
+        object_id = f"{domain.name}{endpoint.url}"
+        edge_a.serve(RequestEvent(0.0, client_a, domain, endpoint))
+        assert not parent.contains_fresh(object_id, 1.0)
+        assert origins.total_requests == 1
+
+    def test_edge_hit_never_touches_parent(self, hierarchy, domains, client_a):
+        edge_a, _, parent, _ = hierarchy
+        domain = cacheable_domain(domains)
+        endpoint = domain.manifests[0]
+        edge_a.serve(RequestEvent(0.0, client_a, domain, endpoint))
+        lookups_after_miss = parent.stats.lookups
+        edge_a.serve(RequestEvent(1.0, client_a, domain, endpoint))
+        assert parent.stats.lookups == lookups_after_miss
+
+    def test_no_parent_means_origin_on_every_miss(self, domains, client_a):
+        origins = OriginFleet()
+        edge = EdgeServer(
+            "edge-solo",
+            LruTtlCache(1 << 24),
+            origins,
+            LatencyModel(substream(9, "lat2")),
+            SizeModel(substream(9, "sz2")),
+            substream(9, "edge2"),
+        )
+        domain = cacheable_domain(domains)
+        ttl = domain.policy.ttl_seconds
+        edge.serve(RequestEvent(0.0, client_a, domain, domain.manifests[0]))
+        edge.serve(
+            RequestEvent(ttl + 1.0, client_a, domain, domain.manifests[0])
+        )
+        assert origins.total_requests == 2
+        assert edge.parent_hits == 0
+
+    def test_origin_offload_improves_with_parent(
+        self, domains, client_a, client_b
+    ):
+        """End-to-end: the hierarchy absorbs cross-edge redundancy."""
+
+        def run(with_parent):
+            origins = OriginFleet()
+            parent = LruTtlCache(1 << 26) if with_parent else None
+            size_model = SizeModel(substream(10, "sz"))
+            edges = [
+                EdgeServer(
+                    f"edge-{i}",
+                    LruTtlCache(1 << 24),
+                    origins,
+                    LatencyModel(substream(10, "lat", str(i))),
+                    size_model,
+                    substream(10, "edge", str(i)),
+                    parent=parent,
+                )
+                for i in range(4)
+            ]
+            clients = [client_a, client_b] * 2
+            served = 0
+            for domain in domains:
+                if domain.policy.kind is not CachePolicyKind.ALWAYS:
+                    continue
+                for endpoint in domain.manifests:
+                    for index, edge in enumerate(edges):
+                        edge.serve(
+                            RequestEvent(
+                                float(served), clients[index], domain, endpoint
+                            )
+                        )
+                        served += 1
+            return origins.total_requests
+
+        assert run(with_parent=True) < run(with_parent=False)

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "long", "--requests", "123",
+             "--out", "x.jsonl"]
+        )
+        assert args.command == "generate"
+        assert args.dataset == "long"
+        assert args.requests == 123
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "--dataset", "medium"])
+
+
+class TestCommands:
+    def test_trend(self, capsys):
+        assert main(["trend"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "growth over window" in out
+
+    def test_generate_and_characterize(self, tmp_path, capsys):
+        out_file = tmp_path / "logs.jsonl.gz"
+        assert main(
+            ["generate", "--requests", "2000", "--seed", "3",
+             "--out", str(out_file)]
+        ) == 0
+        assert out_file.exists()
+        capsys.readouterr()
+        assert main(["characterize", "--logs", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Table 2" in out
+
+    def test_characterize_generates_when_no_logs(self, capsys):
+        assert main(
+            ["characterize", "--requests", "2000", "--seed", "1"]
+        ) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_windows_command(self, capsys):
+        assert main(
+            ["windows", "--requests", "2000", "--seed", "5", "--window", "120"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Traffic time series" in out
+        assert "json:html" in out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", "--requests", "6000", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration checks passed" in out
+        assert "device share: mobile" in out
+
+    def test_patterns_command_small(self, capsys):
+        assert main(
+            ["patterns", "--dataset", "long", "--requests", "3000",
+             "--seed", "2", "--permutations", "15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "§5.1" in out
+        assert "Table 3" in out
+
+    def test_replay_command(self, capsys):
+        assert main(
+            ["replay", "--dataset", "long", "--requests", "2500",
+             "--seed", "4", "--ttls", "60,600", "--edges", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "What-if TTL sweep" in out
+        assert "ttl=60s" in out and "ttl=600s" in out

@@ -1,0 +1,63 @@
+"""Self-consistency tests for the experiment inventory."""
+
+import importlib
+from pathlib import Path
+
+import pytest
+
+from repro.core.inventory import EXPERIMENTS, experiments_by_kind
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestInventoryIntegrity:
+    def test_ids_unique(self):
+        ids = [exp.experiment_id for exp in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_every_benchmark_file_exists(self):
+        for exp in EXPERIMENTS:
+            assert (REPO_ROOT / exp.benchmark).is_file(), exp.benchmark
+
+    def test_every_benchmark_file_is_indexed(self):
+        indexed = {exp.benchmark for exp in EXPERIMENTS}
+        on_disk = {
+            f"benchmarks/{path.name}"
+            for path in (REPO_ROOT / "benchmarks").glob("test_*.py")
+        }
+        assert on_disk == indexed
+
+    def test_every_module_importable(self):
+        for exp in EXPERIMENTS:
+            for module in exp.modules:
+                importlib.import_module(module)
+
+    def test_kinds_valid(self):
+        for exp in EXPERIMENTS:
+            assert exp.kind in ("paper", "extension", "ablation", "performance")
+
+    def test_paper_artifacts_cover_every_table_and_figure(self):
+        references = " ".join(
+            exp.paper_reference for exp in experiments_by_kind("paper")
+        )
+        for artifact in ("Figure 1", "Figure 3", "Figure 4", "Figure 5",
+                         "Figure 6", "Table 2", "Table 3", "§4"):
+            assert artifact in references, artifact
+
+    def test_by_kind_partition(self):
+        total = sum(
+            len(experiments_by_kind(kind))
+            for kind in ("paper", "extension", "ablation", "performance")
+        )
+        assert total == len(EXPERIMENTS)
+
+
+class TestInventoryCli:
+    def test_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "Experiment inventory" in out
+        for exp_id in ("F1", "T3", "X1", "A5"):
+            assert exp_id in out

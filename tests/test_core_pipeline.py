@@ -1,0 +1,65 @@
+"""Integration tests for repro.core.pipeline."""
+
+import pytest
+
+from repro.core.pipeline import run_characterization, run_pattern_analysis
+from repro.periodicity.detector import DetectorConfig
+
+
+@pytest.fixture(scope="module")
+def characterization(request):
+    short_dataset = request.getfixturevalue("short_dataset")
+    categories = {d.name: d.category.value for d in short_dataset.domains}
+    return run_characterization(short_dataset.logs, categories)
+
+
+class TestCharacterizationReport:
+    def test_summary_covers_all_logs(self, characterization, short_dataset):
+        assert characterization.summary.total_logs == len(short_dataset.logs)
+
+    def test_traffic_source_json_only(self, characterization, short_dataset):
+        json_count = sum(1 for r in short_dataset.logs if r.is_json)
+        assert characterization.traffic_source.total_requests == json_count
+
+    def test_size_comparison_available(self, characterization):
+        comparison = characterization.size_comparison
+        assert comparison is not None
+        assert comparison.smaller_at_p75 > comparison.smaller_at_p50
+
+    def test_render_mentions_every_artifact(self, characterization):
+        text = characterization.render("short-term")
+        for marker in ("Table 2", "Figure 3", "Figure 4", "headline"):
+            assert marker in text
+
+    def test_render_includes_device_rows(self, characterization):
+        text = characterization.render()
+        for device in ("mobile", "desktop", "embedded", "unknown"):
+            assert device in text
+
+
+class TestPatternReport:
+    @pytest.fixture(scope="class")
+    def patterns(self, request):
+        long_dataset = request.getfixturevalue("long_dataset")
+        # Few permutations: keep the integration test fast; accuracy
+        # of thresholds is covered by detector unit tests.
+        return run_pattern_analysis(
+            long_dataset.logs,
+            detector_config=DetectorConfig(permutations=25),
+        )
+
+    def test_periodicity_detected(self, patterns):
+        assert patterns.periodicity.periodic_request_fraction > 0.0
+
+    def test_ngram_cells_present(self, patterns):
+        assert (1, 1, False) in patterns.ngram
+        assert (1, 10, True) in patterns.ngram
+
+    def test_render_mentions_artifacts(self, patterns):
+        text = patterns.render()
+        assert "§5.1" in text
+        assert "Table 3" in text
+
+    def test_clustered_accuracy_reported(self, patterns):
+        result = patterns.ngram[(1, 10, True)]
+        assert 0.5 < result.accuracy <= 1.0

@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.report and repro.core.stats."""
+
+import pytest
+
+from repro.core.report import (
+    format_pct,
+    render_bar_chart,
+    render_heatmap,
+    render_table,
+)
+from repro.core.stats import ecdf, histogram, relative_error, within
+
+
+class TestStats:
+    def test_ecdf_reaches_one(self):
+        points = ecdf([3.0, 1.0, 2.0])
+        assert points[0] == (1.0, pytest.approx(1 / 3))
+        assert points[-1] == (3.0, pytest.approx(1.0))
+
+    def test_ecdf_sorted(self):
+        values = [value for value, _ in ecdf([5, 1, 9, 2])]
+        assert values == sorted(values)
+
+    def test_histogram_buckets(self):
+        bars = histogram([1, 2, 11, 12, 13], bin_width=10)
+        assert bars == [(0.0, 2), (10.0, 3)]
+
+    def test_histogram_validates(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], 0)
+
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_within(self):
+        assert within(0.55, 0.553, 0.01)
+        assert not within(0.55, 0.60, 0.01)
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        assert "a" in text and "bb" in text
+        assert "333" in text
+
+    def test_title_on_first_line(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = render_table(["x", "y"], [])
+        assert "x" in text
+
+
+class TestRenderBarChart:
+    def test_bars_proportional(self):
+        text = render_bar_chart([("big", 100.0), ("small", 10.0)], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_empty(self):
+        assert render_bar_chart([], title="none") == "none"
+
+    def test_value_format(self):
+        text = render_bar_chart([("x", 0.5)], value_format="{:.2f}x")
+        assert "0.50x" in text
+
+
+class TestRenderHeatmap:
+    def test_rows_and_columns_present(self):
+        text = render_heatmap(
+            [("Gaming", {"never": 0.9, "always": 0.1})],
+            columns=["never", "always"],
+        )
+        assert "Gaming" in text
+        assert "never" in text
+        assert "90%" in text
+
+    def test_title(self):
+        text = render_heatmap([], columns=["a"], title="Figure 4")
+        assert text.startswith("Figure 4")
+
+
+class TestFormatPct:
+    def test_basic(self):
+        assert format_pct(0.553) == "55.3%"
+
+    def test_digits(self):
+        assert format_pct(0.5, digits=0) == "50%"

@@ -1,0 +1,56 @@
+"""Smoke tests: the shipped examples must run clean end to end.
+
+The slowest examples (prefetch_cdn, traffic_monitoring) are exercised
+at reduced scale by the benchmarks that cover the same code paths;
+here we run the fast ones as real subprocesses so import errors, API
+drift, or output regressions in `examples/` fail the suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        result = run_example("quickstart.py", "4000")
+        assert result.returncode == 0, result.stderr
+        assert "Figure 3" in result.stdout
+        assert "Figure 4" in result.stdout
+        # Clean up the artifact the quickstart writes.
+        artifact = EXAMPLES.parent / "quickstart.jsonl.gz"
+        if artifact.exists():
+            artifact.unlink()
+
+    def test_news_app_sessions(self):
+        result = run_example("news_app_sessions.py")
+        assert result.returncode == 0, result.stderr
+        assert "One app session" in result.stdout
+        assert "Next-request prediction" in result.stdout
+        assert "HIT" in result.stdout
+
+    def test_iot_telemetry_detection(self):
+        result = run_example("iot_telemetry_detection.py")
+        assert result.returncode == 0, result.stderr
+        assert "ALERT" in result.stdout
+        assert "60.0s" in result.stdout
+
+    def test_flash_crowd_purge(self):
+        result = run_example("flash_crowd_purge.py")
+        assert result.returncode == 0, result.stderr
+        assert "purge issued" in result.stdout
+        assert "THUNDERING HERD" in result.stdout

@@ -1,0 +1,64 @@
+"""Unit tests for repro.logs.anonymize."""
+
+import pytest
+
+from repro.logs.anonymize import IpAnonymizer, generate_key
+
+
+@pytest.fixture
+def anonymizer():
+    return IpAnonymizer(b"k" * 32)
+
+
+class TestKeyHandling:
+    def test_generate_key_length(self):
+        assert len(generate_key()) == 32
+
+    def test_generate_key_is_random(self):
+        assert generate_key() != generate_key()
+
+    def test_hex_string_key_accepted(self):
+        hex_key = "ab" * 16
+        a = IpAnonymizer(hex_key)
+        b = IpAnonymizer(bytes.fromhex(hex_key))
+        assert a.anonymize("192.0.2.1") == b.anonymize("192.0.2.1")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            IpAnonymizer(b"short")
+
+
+class TestAnonymization:
+    def test_deterministic_for_same_ip(self, anonymizer):
+        assert anonymizer.anonymize("192.0.2.7") == anonymizer.anonymize("192.0.2.7")
+
+    def test_distinct_ips_distinct_pseudonyms(self, anonymizer):
+        assert anonymizer.anonymize("192.0.2.7") != anonymizer.anonymize("192.0.2.8")
+
+    def test_different_keys_different_pseudonyms(self):
+        a = IpAnonymizer(b"a" * 32)
+        b = IpAnonymizer(b"b" * 32)
+        assert a.anonymize("192.0.2.7") != b.anonymize("192.0.2.7")
+
+    def test_pseudonym_is_fixed_width_hex(self, anonymizer):
+        pseudonym = anonymizer.anonymize("10.1.2.3")
+        assert len(pseudonym) == 16
+        int(pseudonym, 16)  # must parse as hex
+
+    def test_ipv6_supported(self, anonymizer):
+        assert anonymizer.anonymize("2001:db8::1")
+
+    def test_ipv4_mapped_ipv6_equals_ipv4(self, anonymizer):
+        assert anonymizer.anonymize("::ffff:192.0.2.7") == anonymizer.anonymize(
+            "192.0.2.7"
+        )
+
+    def test_invalid_ip_raises(self, anonymizer):
+        with pytest.raises(ValueError):
+            anonymizer.anonymize("not-an-ip")
+
+    def test_opaque_identifier_supported(self, anonymizer):
+        a = anonymizer.anonymize_opaque("device-1234")
+        b = anonymizer.anonymize_opaque("device-1234")
+        assert a == b
+        assert a != anonymizer.anonymize_opaque("device-1235")

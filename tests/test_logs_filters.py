@@ -1,0 +1,99 @@
+"""Unit tests for repro.logs.filters."""
+
+import pytest
+
+from repro.logs.filters import (
+    chain_filters,
+    content_type_in,
+    domains_in,
+    html_only,
+    json_only,
+    methods_in,
+    status_class,
+    time_window,
+)
+from repro.logs.record import HttpMethod
+from tests.conftest import make_log
+
+
+@pytest.fixture
+def mixed_logs():
+    return [
+        make_log(mime_type="application/json", timestamp=100.0),
+        make_log(mime_type="text/html", timestamp=200.0, domain="b.example.com"),
+        make_log(mime_type="image/jpeg", timestamp=300.0, status=404),
+        make_log(
+            mime_type="application/json",
+            timestamp=400.0,
+            method=HttpMethod.POST,
+            request_bytes=10,
+        ),
+    ]
+
+
+class TestContentTypeFilters:
+    def test_json_only(self, mixed_logs):
+        out = list(json_only(mixed_logs))
+        assert len(out) == 2
+        assert all(record.is_json for record in out)
+
+    def test_html_only(self, mixed_logs):
+        out = list(html_only(mixed_logs))
+        assert [record.mime_type for record in out] == ["text/html"]
+
+    def test_content_type_in_multiple(self, mixed_logs):
+        out = list(content_type_in(mixed_logs, ["text/html", "image/jpeg"]))
+        assert len(out) == 2
+
+    def test_content_type_in_case_insensitive(self, mixed_logs):
+        out = list(content_type_in(mixed_logs, ["Application/JSON"]))
+        assert len(out) == 2
+
+
+class TestTimeWindow:
+    def test_both_bounds(self, mixed_logs):
+        out = list(time_window(mixed_logs, start=150.0, end=350.0))
+        assert [record.timestamp for record in out] == [200.0, 300.0]
+
+    def test_end_is_exclusive(self, mixed_logs):
+        out = list(time_window(mixed_logs, start=100.0, end=400.0))
+        assert all(record.timestamp < 400.0 for record in out)
+
+    def test_start_is_inclusive(self, mixed_logs):
+        out = list(time_window(mixed_logs, start=100.0))
+        assert len(out) == 4
+
+    def test_unbounded(self, mixed_logs):
+        assert len(list(time_window(mixed_logs))) == 4
+
+
+class TestOtherFilters:
+    def test_domains_in(self, mixed_logs):
+        out = list(domains_in(mixed_logs, {"b.example.com"}))
+        assert len(out) == 1
+
+    def test_methods_in_case_insensitive(self, mixed_logs):
+        out = list(methods_in(mixed_logs, ["post"]))
+        assert len(out) == 1
+
+    def test_status_class(self, mixed_logs):
+        assert len(list(status_class(mixed_logs, 4))) == 1
+        assert len(list(status_class(mixed_logs, 2))) == 3
+
+    def test_status_class_validates_input(self, mixed_logs):
+        with pytest.raises(ValueError):
+            list(status_class(mixed_logs, 9))
+
+    def test_chain_filters(self, mixed_logs):
+        out = list(
+            chain_filters(
+                mixed_logs,
+                lambda r: r.is_json,
+                lambda r: r.method is HttpMethod.POST,
+            )
+        )
+        assert len(out) == 1
+
+    def test_filters_are_lazy(self, mixed_logs):
+        iterator = json_only(iter(mixed_logs))
+        assert next(iterator).is_json

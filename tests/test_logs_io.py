@@ -1,0 +1,165 @@
+"""Unit tests for repro.logs.io."""
+
+import gzip
+
+import pytest
+
+from repro.logs.io import (
+    TSV_COLUMNS,
+    read_jsonl,
+    read_logs,
+    read_tsv,
+    write_jsonl,
+    write_logs,
+    write_tsv,
+)
+from repro.logs.record import CacheStatus, HttpMethod
+from tests.conftest import make_log
+
+
+@pytest.fixture
+def records():
+    return [
+        make_log(),
+        make_log(
+            method=HttpMethod.POST,
+            request_bytes=512,
+            cache_status=CacheStatus.NO_STORE,
+            ttl_seconds=None,
+            user_agent=None,
+        ),
+        make_log(url="/api/v1/item/99", status=404),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        assert write_jsonl(records, path) == 3
+        assert list(read_jsonl(path)) == records
+
+    def test_gzip_round_trip(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl.gz"
+        write_jsonl(records, path)
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"  # gzip magic
+        assert list(read_jsonl(path)) == records
+
+    def test_blank_lines_skipped(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        write_jsonl(records[:1], path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(list(read_jsonl(path))) == 1
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        write_jsonl([make_log()], path)
+        with open(path, "a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ValueError, match="line 2"):
+            list(read_jsonl(path))
+
+
+class TestTsv:
+    def test_round_trip(self, records, tmp_path):
+        path = tmp_path / "logs.tsv"
+        assert write_tsv(records, path) == 3
+        assert list(read_tsv(path)) == records
+
+    def test_gzip_round_trip(self, records, tmp_path):
+        path = tmp_path / "logs.tsv.gz"
+        write_tsv(records, path)
+        assert list(read_tsv(path)) == records
+
+    def test_none_user_agent_round_trips(self, tmp_path):
+        record = make_log(user_agent=None)
+        path = tmp_path / "logs.tsv"
+        write_tsv([record], path)
+        assert next(read_tsv(path)).user_agent is None
+
+    def test_tab_in_user_agent_escaped(self, tmp_path):
+        record = make_log(user_agent="weird\tagent\nstring")
+        path = tmp_path / "logs.tsv"
+        write_tsv([record], path)
+        assert next(read_tsv(path)).user_agent == "weird\tagent\nstring"
+
+    def test_backslash_in_user_agent_escaped(self, tmp_path):
+        record = make_log(user_agent="path\\to\\thing")
+        path = tmp_path / "logs.tsv"
+        write_tsv([record], path)
+        assert next(read_tsv(path)).user_agent == "path\\to\\thing"
+
+    def test_column_count_mismatch_raises(self, tmp_path):
+        path = tmp_path / "logs.tsv"
+        path.write_text("just\tthree\tcolumns\n")
+        with pytest.raises(ValueError, match="line 1"):
+            list(read_tsv(path))
+
+    def test_column_order_is_stable(self):
+        assert TSV_COLUMNS[0] == "timestamp"
+        assert len(TSV_COLUMNS) == 13
+
+
+class TestFormatDispatch:
+    def test_write_logs_jsonl(self, records, tmp_path):
+        path = tmp_path / "x.jsonl"
+        write_logs(records, path)
+        assert list(read_logs(path)) == records
+
+    def test_write_logs_tsv_gz(self, records, tmp_path):
+        path = tmp_path / "x.tsv.gz"
+        write_logs(records, path)
+        assert list(read_logs(path)) == records
+
+    def test_unknown_extension_rejected(self, records, tmp_path):
+        with pytest.raises(ValueError, match="cannot infer"):
+            write_logs(records, tmp_path / "x.csv")
+
+    def test_reading_unknown_extension_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot infer"):
+            list(read_logs(tmp_path / "x.parquet"))
+
+    def test_readers_are_lazy(self, records, tmp_path):
+        path = tmp_path / "x.jsonl"
+        write_logs(records, path)
+        iterator = read_logs(path)
+        assert next(iterator) == records[0]
+
+
+class TestResilientReading:
+    def test_skip_mode_drops_bad_jsonl_lines(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        write_jsonl(records, path)
+        with open(path, "a") as handle:
+            handle.write("{truncated\n")
+            handle.write('{"timestamp": "not-a-number"}\n')
+        recovered = list(read_jsonl(path, on_error="skip"))
+        assert recovered == records
+
+    def test_skip_mode_drops_bad_tsv_lines(self, records, tmp_path):
+        path = tmp_path / "logs.tsv"
+        write_tsv(records, path)
+        with open(path, "a") as handle:
+            handle.write("only\tthree\tcolumns\n")
+        recovered = list(read_tsv(path, on_error="skip"))
+        assert recovered == records
+
+    def test_raise_mode_is_default(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        write_jsonl(records, path)
+        with open(path, "a") as handle:
+            handle.write("{bad\n")
+        with pytest.raises(ValueError):
+            list(read_jsonl(path))
+
+    def test_invalid_on_error_value(self, records, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        write_jsonl(records, path)
+        with pytest.raises(ValueError, match="on_error"):
+            list(read_jsonl(path, on_error="ignore"))
+
+    def test_read_logs_passes_through(self, records, tmp_path):
+        path = tmp_path / "logs.tsv.gz"
+        write_logs(records, path)
+        assert list(read_logs(path, on_error="skip")) == records

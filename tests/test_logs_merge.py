@@ -1,0 +1,91 @@
+"""Unit tests for repro.logs.merge."""
+
+import pytest
+
+from repro.logs.io import read_logs, write_logs
+from repro.logs.merge import (
+    is_time_ordered,
+    merge_files,
+    merge_sorted,
+    split_by_edge,
+)
+from tests.conftest import make_log
+
+
+def edge_stream(edge_id, timestamps):
+    return [make_log(timestamp=float(t), edge_id=edge_id) for t in timestamps]
+
+
+class TestMergeSorted:
+    def test_two_streams_interleave(self):
+        a = edge_stream("edge-a", [1, 3, 5])
+        b = edge_stream("edge-b", [2, 4, 6])
+        merged = list(merge_sorted([a, b]))
+        assert [record.timestamp for record in merged] == [1, 2, 3, 4, 5, 6]
+
+    def test_ties_keep_stream_order(self):
+        a = edge_stream("edge-a", [1.0])
+        b = edge_stream("edge-b", [1.0])
+        merged = list(merge_sorted([a, b]))
+        assert [record.edge_id for record in merged] == ["edge-a", "edge-b"]
+
+    def test_empty_streams(self):
+        assert list(merge_sorted([])) == []
+        assert list(merge_sorted([[], edge_stream("e", [1])])) != []
+
+    def test_single_stream_passthrough(self):
+        a = edge_stream("edge-a", [1, 2, 3])
+        assert list(merge_sorted([a])) == a
+
+    def test_many_streams(self):
+        streams = [edge_stream(f"edge-{i}", range(i, 100, 7)) for i in range(7)]
+        merged = list(merge_sorted(streams))
+        assert is_time_ordered(merged)
+        assert len(merged) == sum(len(s) for s in streams)
+
+    def test_lazy(self):
+        a = iter(edge_stream("edge-a", [1, 2]))
+        merged = merge_sorted([a])
+        assert next(merged).timestamp == 1
+
+
+class TestMergeFiles:
+    def test_round_trip(self, tmp_path):
+        paths = []
+        for edge in range(3):
+            path = tmp_path / f"edge-{edge}.jsonl"
+            write_logs(edge_stream(f"edge-{edge}", range(edge, 30, 3)), path)
+            paths.append(path)
+        out = tmp_path / "merged.jsonl.gz"
+        count = merge_files(paths, out)
+        merged = list(read_logs(out))
+        assert count == len(merged) == 30
+        assert is_time_ordered(merged)
+
+
+class TestSplitByEdge:
+    def test_partition(self):
+        logs = edge_stream("edge-a", [1, 2]) + edge_stream("edge-b", [3])
+        parts = split_by_edge(logs)
+        assert set(parts) == {"edge-a", "edge-b"}
+        assert len(parts["edge-a"]) == 2
+
+    def test_split_then_merge_identity(self, short_dataset):
+        sample = short_dataset.logs[:2000]
+        parts = split_by_edge(sample)
+        merged = list(merge_sorted(list(parts.values())))
+        assert sorted(r.timestamp for r in merged) == [
+            r.timestamp for r in merged
+        ]
+        assert len(merged) == len(sample)
+
+
+class TestIsTimeOrdered:
+    def test_ordered(self):
+        assert is_time_ordered(edge_stream("e", [1, 2, 2, 3]))
+
+    def test_unordered(self):
+        assert not is_time_ordered(edge_stream("e", [2, 1]))
+
+    def test_empty(self):
+        assert is_time_ordered([])

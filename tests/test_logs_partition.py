@@ -1,0 +1,100 @@
+"""Tests for repro.logs.partition."""
+
+import pytest
+
+from repro.logs.merge import is_time_ordered
+from repro.logs.partition import (
+    bucket_name,
+    iter_partition_files,
+    read_partitioned,
+    write_partitioned,
+)
+from tests.conftest import make_log
+
+
+@pytest.fixture
+def sample_logs():
+    base = 1_559_347_200.0  # 2019-06-01 00:00 UTC
+    logs = []
+    for edge in ("edge-0", "edge-1"):
+        for hour in (0, 1, 3):
+            for minute in (5, 25, 45):
+                logs.append(
+                    make_log(
+                        timestamp=base + hour * 3600 + minute * 60,
+                        edge_id=edge,
+                    )
+                )
+    return logs
+
+
+class TestBucketName:
+    def test_utc_hour(self):
+        assert bucket_name(1_559_347_200.0) == "2019-06-01-00"
+        assert bucket_name(1_559_347_200.0 + 3 * 3600) == "2019-06-01-03"
+
+    def test_day_rollover(self):
+        assert bucket_name(1_559_347_200.0 + 24 * 3600) == "2019-06-02-00"
+
+
+class TestWritePartitioned:
+    def test_layout(self, sample_logs, tmp_path):
+        written = write_partitioned(sample_logs, tmp_path)
+        assert len(written) == 6  # 2 edges × 3 hours
+        assert "edge-0/2019-06-01-00.jsonl.gz" in written
+        assert all(count == 3 for count in written.values())
+
+    def test_format_option(self, sample_logs, tmp_path):
+        written = write_partitioned(sample_logs, tmp_path, fmt="tsv")
+        assert all(name.endswith(".tsv") for name in written)
+
+    def test_bad_format_rejected(self, sample_logs, tmp_path):
+        with pytest.raises(ValueError):
+            write_partitioned(sample_logs, tmp_path, fmt="parquet")
+
+    def test_files_listable(self, sample_logs, tmp_path):
+        write_partitioned(sample_logs, tmp_path)
+        files = iter_partition_files(tmp_path)
+        assert len(files) == 6
+        per_edge = iter_partition_files(tmp_path, edge_id="edge-0")
+        assert len(per_edge) == 3
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            iter_partition_files(tmp_path / "nope")
+
+
+class TestReadPartitioned:
+    def test_round_trip_all_edges(self, sample_logs, tmp_path):
+        import json
+
+        write_partitioned(sample_logs, tmp_path)
+        recovered = list(read_partitioned(tmp_path))
+        assert len(recovered) == len(sample_logs)
+        assert is_time_ordered(recovered)
+
+        def multiset(records):
+            return sorted(
+                json.dumps(record.to_dict(), sort_keys=True)
+                for record in records
+            )
+
+        assert multiset(recovered) == multiset(sample_logs)
+
+    def test_single_edge_filter(self, sample_logs, tmp_path):
+        write_partitioned(sample_logs, tmp_path)
+        recovered = list(read_partitioned(tmp_path, edge_id="edge-1"))
+        assert len(recovered) == 9
+        assert all(record.edge_id == "edge-1" for record in recovered)
+
+    def test_missing_edge_raises(self, sample_logs, tmp_path):
+        write_partitioned(sample_logs, tmp_path)
+        with pytest.raises(FileNotFoundError):
+            list(read_partitioned(tmp_path, edge_id="edge-9"))
+
+    def test_dataset_round_trip(self, short_dataset, tmp_path):
+        sample = short_dataset.logs[:3000]
+        write_partitioned(sample, tmp_path, fmt="tsv.gz")
+        recovered = list(read_partitioned(tmp_path))
+        assert len(recovered) == len(sample)
+        assert is_time_ordered(recovered)

@@ -1,0 +1,107 @@
+"""Tests for repro.logs.sampling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs.sampling import (
+    keep_fraction,
+    sample_clients,
+    sample_objects,
+    sample_requests,
+)
+from tests.conftest import make_log
+
+
+class TestKeepFraction:
+    def test_deterministic(self):
+        assert keep_fraction("client-1", 0.5, seed=3) == keep_fraction(
+            "client-1", 0.5, seed=3
+        )
+
+    def test_extremes(self):
+        assert keep_fraction("anything", 1.0)
+        assert not keep_fraction("anything", 0.0)
+
+    def test_seed_changes_selection(self):
+        keys = [f"key-{i}" for i in range(200)]
+        selection_a = {key for key in keys if keep_fraction(key, 0.5, seed=1)}
+        selection_b = {key for key in keys if keep_fraction(key, 0.5, seed=2)}
+        assert selection_a != selection_b
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            keep_fraction("x", 1.5)
+
+    @given(st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_rate_approximately_respected(self, fraction):
+        keys = [f"key-{i}" for i in range(2000)]
+        kept = sum(keep_fraction(key, fraction, seed=7) for key in keys)
+        assert abs(kept / len(keys) - fraction) < 0.05
+
+
+class TestClientSampling:
+    def _logs(self):
+        logs = []
+        for client in range(50):
+            for i in range(10):
+                logs.append(
+                    make_log(timestamp=float(i), client_ip_hash=f"c{client:03d}")
+                )
+        return logs
+
+    def test_flows_kept_whole(self):
+        sampled = list(sample_clients(self._logs(), 0.4, seed=1))
+        from collections import Counter
+
+        per_client = Counter(record.client_id for record in sampled)
+        # Every sampled client keeps all 10 of its requests.
+        assert all(count == 10 for count in per_client.values())
+
+    def test_rate_near_target(self):
+        sampled = list(sample_clients(self._logs(), 0.4, seed=1))
+        clients = {record.client_id for record in sampled}
+        assert 10 <= len(clients) <= 30  # 40% of 50 ± noise
+
+    def test_request_sampling_fragments_flows(self):
+        sampled = list(sample_requests(self._logs(), 0.4, seed=1))
+        from collections import Counter
+
+        per_client = Counter(record.client_id for record in sampled)
+        assert any(count < 10 for count in per_client.values())
+
+    def test_object_sampling_keeps_objects_whole(self):
+        logs = []
+        for obj in range(20):
+            for client in range(5):
+                logs.append(
+                    make_log(
+                        timestamp=float(client),
+                        url=f"/api/v1/item/{obj}",
+                        client_ip_hash=f"c{client}",
+                    )
+                )
+        sampled = list(sample_objects(logs, 0.5, seed=2))
+        from collections import Counter
+
+        per_object = Counter(record.object_id for record in sampled)
+        assert all(count == 5 for count in per_object.values())
+
+    def test_periodicity_survives_client_sampling(self, long_json_logs):
+        """The §5 use case: flows in the sample are analyzable whole."""
+        from repro.periodicity.flows import FlowFilter, extract_flows
+
+        sampled = list(sample_clients(long_json_logs, 0.6, seed=5))
+        flows = extract_flows(
+            sampled, FlowFilter(min_clients_per_object_flow=5)
+        )
+        full_flows = extract_flows(
+            long_json_logs, FlowFilter(min_clients_per_object_flow=5)
+        )
+        # Sampled client flows are byte-identical subsets of the full
+        # dataset's flows (no fragmented sequences).
+        for object_id, flow in flows.items():
+            for client_id, client_flow in flow.client_flows.items():
+                full = full_flows[object_id].client_flows[client_id]
+                assert client_flow.request_count == full.request_count

@@ -1,0 +1,111 @@
+"""Unit tests for repro.logs.schema."""
+
+import pytest
+
+from repro.logs.record import CacheStatus, HttpMethod
+from repro.logs.schema import DEFAULT_SCHEMA, LogSchema, SchemaError, ValidationIssue
+from tests.conftest import make_log
+
+
+@pytest.fixture
+def schema():
+    return LogSchema()
+
+
+class TestValidRecords:
+    def test_baseline_record_is_valid(self, schema):
+        assert schema.validate_record(make_log()) == []
+
+    def test_missing_user_agent_is_valid(self, schema):
+        assert schema.validate_record(make_log(user_agent=None)) == []
+
+    def test_missing_ttl_is_valid(self, schema):
+        assert schema.validate_record(make_log(ttl_seconds=None)) == []
+
+    def test_int_timestamp_accepted(self, schema):
+        assert schema.validate_record(make_log(timestamp=12345)) == []
+
+
+class TestFieldViolations:
+    def test_negative_timestamp(self, schema):
+        issues = schema.validate_record(make_log(timestamp=-1.0))
+        assert any(i.field == "timestamp" for i in issues)
+
+    def test_empty_client_hash(self, schema):
+        issues = schema.validate_record(make_log(client_ip_hash=""))
+        assert any(i.field == "client_ip_hash" for i in issues)
+
+    def test_relative_url_rejected(self, schema):
+        issues = schema.validate_record(make_log(url="api/home"))
+        assert any(i.field == "url" for i in issues)
+
+    def test_url_with_whitespace_rejected(self, schema):
+        issues = schema.validate_record(make_log(url="/a b"))
+        assert any(i.field == "url" for i in issues)
+
+    def test_bad_mime_type(self, schema):
+        issues = schema.validate_record(make_log(mime_type="json"))
+        assert any(i.field == "mime_type" for i in issues)
+
+    def test_status_out_of_range(self, schema):
+        issues = schema.validate_record(make_log(status=42))
+        assert any(i.field == "status" for i in issues)
+
+    def test_negative_response_bytes(self, schema):
+        issues = schema.validate_record(make_log(response_bytes=-5))
+        assert any(i.field == "response_bytes" for i in issues)
+
+    def test_wrong_type_reported(self, schema):
+        issues = schema.validate_record(make_log(status=200.0))
+        assert any(i.field == "status" and "expected int" in i.message for i in issues)
+
+
+class TestCrossFieldInvariants:
+    def test_no_store_with_ttl_rejected(self, schema):
+        record = make_log(cache_status=CacheStatus.NO_STORE, ttl_seconds=60.0)
+        issues = schema.validate_record(record)
+        assert any(i.field == "ttl_seconds" for i in issues)
+
+    def test_get_with_body_rejected(self, schema):
+        record = make_log(method=HttpMethod.GET, request_bytes=100)
+        issues = schema.validate_record(record)
+        assert any(i.field == "request_bytes" for i in issues)
+
+    def test_post_with_body_allowed(self, schema):
+        record = make_log(method=HttpMethod.POST, request_bytes=100)
+        assert schema.validate_record(record) == []
+
+
+class TestModes:
+    def test_require_valid_returns_record(self, schema):
+        record = make_log()
+        assert schema.require_valid(record) is record
+
+    def test_require_valid_raises_with_details(self, schema):
+        with pytest.raises(SchemaError, match="timestamp"):
+            schema.require_valid(make_log(timestamp=-1.0))
+
+    def test_clean_splits_records(self, schema):
+        good = make_log()
+        bad = make_log(status=999)
+        valid, quarantined = schema.clean([good, bad, good])
+        assert valid == [good, good]
+        assert len(quarantined) == 1
+        assert quarantined[0][0] is bad
+
+    def test_iter_valid_is_lazy_filter(self, schema):
+        records = [make_log(), make_log(timestamp=-2.0)]
+        assert list(schema.iter_valid(records)) == [records[0]]
+
+    def test_default_schema_is_shared_instance(self):
+        assert DEFAULT_SCHEMA.validate_record(make_log()) == []
+
+
+class TestValidationIssueDisplay:
+    def test_str_contains_field_and_value(self):
+        issue = ValidationIssue("status", "bad", 999)
+        assert "status" in str(issue) and "999" in str(issue)
+
+    def test_long_values_truncated(self):
+        issue = ValidationIssue("url", "bad", "x" * 500)
+        assert len(str(issue)) < 200

@@ -1,0 +1,93 @@
+"""Unit tests for repro.logs.summary."""
+
+import pytest
+
+from repro.logs.record import CacheStatus, HttpMethod
+from repro.logs.summary import DatasetSummary, summarize
+from tests.conftest import make_log
+
+
+@pytest.fixture
+def summary():
+    logs = [
+        make_log(timestamp=100.0),
+        make_log(
+            timestamp=160.0,
+            method=HttpMethod.POST,
+            request_bytes=50,
+            cache_status=CacheStatus.NO_STORE,
+            ttl_seconds=None,
+            mime_type="text/html",
+            domain="b.example.com",
+            client_ip_hash="other",
+        ),
+        make_log(timestamp=130.0, cache_status=CacheStatus.MISS, url="/api/v1/x"),
+    ]
+    return summarize(logs)
+
+
+class TestCounts:
+    def test_total_logs(self, summary):
+        assert summary.total_logs == 3
+
+    def test_duration_spans_min_to_max(self, summary):
+        assert summary.duration_seconds == 60.0
+
+    def test_domains_clients_objects(self, summary):
+        assert summary.num_domains == 2
+        assert summary.num_clients == 2
+        assert summary.num_objects == 3
+
+    def test_byte_totals(self, summary):
+        assert summary.total_response_bytes == 3 * 2048
+        assert summary.total_request_bytes == 50
+
+
+class TestFractions:
+    def test_json_fraction(self, summary):
+        assert summary.json_fraction == pytest.approx(2 / 3)
+
+    def test_get_fraction(self, summary):
+        assert summary.get_fraction == pytest.approx(2 / 3)
+
+    def test_uncacheable_fraction(self, summary):
+        assert summary.uncacheable_fraction == pytest.approx(1 / 3)
+
+    def test_hit_ratio_over_cacheable_only(self, summary):
+        # 1 hit, 1 miss, 1 no-store → 0.5
+        assert summary.hit_ratio == pytest.approx(0.5)
+
+
+class TestEdgeCases:
+    def test_empty_summary(self):
+        empty = DatasetSummary()
+        assert empty.total_logs == 0
+        assert empty.duration_seconds == 0.0
+        assert empty.json_fraction == 0.0
+        assert empty.hit_ratio == 0.0
+
+    def test_single_record_duration_zero(self):
+        summary = summarize([make_log()])
+        assert summary.duration_seconds == 0.0
+
+    def test_update_returns_self_for_chaining(self):
+        summary = DatasetSummary()
+        assert summary.update([make_log()]) is summary
+
+    def test_table_row_fields(self, summary):
+        row = summary.to_table_row("short-term")
+        assert row["dataset"] == "short-term"
+        assert row["num_logs"] == 3
+        assert row["num_domains"] == 2
+
+
+class TestOnSyntheticDataset:
+    def test_summary_matches_config(self, short_dataset):
+        summary = summarize(short_dataset.logs)
+        assert summary.total_logs == len(short_dataset.logs)
+        assert summary.duration_seconds <= short_dataset.config.duration_s
+        assert summary.num_domains <= short_dataset.config.num_domains
+
+    def test_json_majority(self, short_dataset):
+        summary = summarize(short_dataset.logs)
+        assert summary.json_fraction > 0.4

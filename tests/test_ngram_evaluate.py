@@ -1,0 +1,129 @@
+"""Unit tests for repro.ngram.evaluate."""
+
+import pytest
+
+from repro.logs.record import HttpMethod
+from repro.ngram.evaluate import (
+    build_client_sequences,
+    evaluate_topk,
+    run_table3,
+    split_clients,
+)
+from repro.ngram.model import BackoffNgramModel
+from tests.conftest import make_log
+
+
+class TestBuildSequences:
+    def test_sequences_time_ordered(self):
+        logs = [
+            make_log(timestamp=3.0, url="/api/v1/c"),
+            make_log(timestamp=1.0, url="/api/v1/a"),
+            make_log(timestamp=2.0, url="/api/v1/b"),
+        ]
+        sequences = build_client_sequences(logs)
+        flow = next(iter(sequences.values()))
+        assert [token.split("/")[-1] for token in flow] == ["a", "b", "c"]
+
+    def test_split_by_client(self):
+        logs = [
+            make_log(client_ip_hash="c1", url="/api/v1/a"),
+            make_log(client_ip_hash="c2", url="/api/v1/b"),
+        ]
+        assert len(build_client_sequences(logs)) == 2
+
+    def test_json_only_by_default(self):
+        logs = [
+            make_log(url="/api/v1/a"),
+            make_log(url="/page", mime_type="text/html"),
+        ]
+        sequences = build_client_sequences(logs)
+        flow = next(iter(sequences.values()))
+        assert len(flow) == 1
+
+    def test_tokens_include_domain(self):
+        logs = [make_log(domain="d.example.com", url="/api/v1/a")]
+        flow = next(iter(build_client_sequences(logs).values()))
+        assert flow[0] == "d.example.com/api/v1/a"
+
+    def test_clustered_tokens(self):
+        logs = [make_log(url="/api/v1/item/42")]
+        flow = next(iter(build_client_sequences(logs, clustered=True).values()))
+        assert flow[0].endswith("/api/v1/item/<num>")
+
+
+class TestSplitClients:
+    def test_partition_complete(self):
+        clients = [f"client-{i}" for i in range(1000)]
+        train, test = split_clients(clients, test_fraction=0.25, seed=1)
+        assert sorted(train + test) == sorted(clients)
+
+    def test_fraction_respected(self):
+        clients = [f"client-{i}" for i in range(4000)]
+        _, test = split_clients(clients, test_fraction=0.25, seed=1)
+        assert abs(len(test) / 4000 - 0.25) < 0.03
+
+    def test_deterministic(self):
+        clients = [f"client-{i}" for i in range(100)]
+        assert split_clients(clients, seed=5) == split_clients(clients, seed=5)
+
+    def test_seed_changes_split(self):
+        clients = [f"client-{i}" for i in range(500)]
+        assert split_clients(clients, seed=1) != split_clients(clients, seed=2)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_clients(["a"], test_fraction=0.0)
+
+
+class TestEvaluateTopk:
+    def test_perfectly_predictable_flow(self):
+        model = BackoffNgramModel(order=1)
+        model.fit([["a", "b", "c"]] * 10)
+        results = evaluate_topk(model, [["a", "b", "c"]], n=1, ks=[1])
+        assert results[0].accuracy == 1.0
+
+    def test_unpredictable_flow(self):
+        model = BackoffNgramModel(order=1)
+        model.fit([["a", "b"]])
+        results = evaluate_topk(model, [["a", "z"]], n=1, ks=[1])
+        assert results[0].accuracy == 0.0
+
+    def test_accuracy_monotone_in_k(self):
+        model = BackoffNgramModel(order=1)
+        model.fit([["a", "b"], ["a", "c"], ["a", "d"]])
+        results = evaluate_topk(
+            model, [["a", "b"], ["a", "c"], ["a", "d"]], n=1, ks=[1, 2, 3]
+        )
+        accuracies = [result.accuracy for result in results]
+        assert accuracies == sorted(accuracies)
+
+    def test_counts_reported(self):
+        model = BackoffNgramModel(order=1)
+        model.fit([["a", "b", "c"]])
+        result = evaluate_topk(model, [["a", "b", "c"]], n=1, ks=[1])[0]
+        assert result.total == 2
+        assert result.correct == 2
+        assert result.n == 1 and result.k == 1
+
+
+class TestRunTable3:
+    def test_produces_all_cells(self, long_json_logs):
+        results = run_table3(long_json_logs[:5000], ns=(1,), ks=(1, 5))
+        assert set(results) == {
+            (1, 1, False),
+            (1, 5, False),
+            (1, 1, True),
+            (1, 5, True),
+        }
+
+    def test_clustered_beats_actual(self, long_json_logs):
+        results = run_table3(long_json_logs, ns=(1,), ks=(1, 10))
+        for k in (1, 10):
+            assert (
+                results[(1, k, True)].accuracy
+                >= results[(1, k, False)].accuracy - 0.02
+            )
+
+    def test_k10_beats_k1(self, long_json_logs):
+        results = run_table3(long_json_logs, ns=(1,), ks=(1, 10))
+        assert results[(1, 10, False)].accuracy > results[(1, 1, False)].accuracy

@@ -1,0 +1,131 @@
+"""Unit tests for repro.ngram.model."""
+
+import pytest
+
+from repro.ngram.model import BackoffNgramModel
+
+
+@pytest.fixture
+def bigram():
+    model = BackoffNgramModel(order=1)
+    model.fit(
+        [
+            ["home", "stories", "item1", "item2"],
+            ["home", "stories", "item1", "home"],
+            ["home", "item3"],
+        ]
+    )
+    return model
+
+
+class TestConstruction:
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            BackoffNgramModel(order=0)
+
+    def test_invalid_discount(self):
+        with pytest.raises(ValueError):
+            BackoffNgramModel(backoff_discount=0.0)
+        with pytest.raises(ValueError):
+            BackoffNgramModel(backoff_discount=1.5)
+
+    def test_training_counters(self, bigram):
+        assert bigram.trained_sequences == 3
+        assert bigram.trained_tokens == 10
+
+
+class TestPrediction:
+    def test_most_frequent_successor_first(self, bigram):
+        assert bigram.predict(["home"], k=1) == ["stories"]
+
+    def test_top_k_ordering(self, bigram):
+        top = bigram.predict(["home"], k=3)
+        assert top[0] == "stories"
+        assert set(top[1:]) <= {"item3", "home", "item1", "item2"}
+
+    def test_deterministic_successor(self, bigram):
+        assert bigram.predict(["stories"], k=1) == ["item1"]
+
+    def test_unknown_history_backs_off_to_unigram(self, bigram):
+        top = bigram.predict(["never-seen"], k=1)
+        # Unigram distribution: "home" and "stories"/"item1" are common.
+        assert top[0] in {"home", "stories", "item1"}
+
+    def test_empty_history_uses_unigram(self, bigram):
+        assert bigram.predict([], k=1)
+
+    def test_k_larger_than_vocab(self, bigram):
+        top = bigram.predict(["home"], k=100)
+        assert len(top) == len(set(top))
+
+    def test_invalid_k(self, bigram):
+        with pytest.raises(ValueError):
+            bigram.predict(["home"], k=0)
+
+    def test_no_duplicates_across_backoff_levels(self, bigram):
+        top = bigram.predict(["home"], k=10)
+        assert len(top) == len(set(top))
+
+
+class TestHigherOrder:
+    def test_longer_history_disambiguates(self):
+        model = BackoffNgramModel(order=2)
+        model.fit(
+            [
+                ["a", "x", "p"],
+                ["a", "x", "p"],
+                ["b", "x", "q"],
+                ["b", "x", "q"],
+            ]
+        )
+        assert model.predict(["a", "x"], k=1) == ["p"]
+        assert model.predict(["b", "x"], k=1) == ["q"]
+
+    def test_history_trimmed_to_order(self):
+        model = BackoffNgramModel(order=1)
+        model.fit([["a", "b", "c"]])
+        # Only the last token matters for an order-1 model.
+        assert model.predict(["zzz", "b"], k=1) == ["c"]
+
+    def test_short_sequences_ignored(self):
+        model = BackoffNgramModel(order=1)
+        model.fit([["only"]])
+        assert model.trained_sequences == 0
+
+
+class TestScores:
+    def test_probability_of_seen_transition(self, bigram):
+        # home → stories twice, home → item3 once.
+        assert bigram.probability(["home"], "stories") == pytest.approx(2 / 3)
+
+    def test_probability_backoff_discounted(self, bigram):
+        direct = bigram.probability(["home"], "stories")
+        backed_off = bigram.probability(["never-seen"], "stories")
+        assert 0 < backed_off < direct + 1e-9
+
+    def test_probability_unseen_token(self, bigram):
+        assert bigram.probability(["home"], "nope") == 0.0
+
+    def test_scored_predictions_descending(self, bigram):
+        scored = bigram.scored_predictions(["home"], k=4)
+        values = [score for _, score in scored]
+        # Same-level candidates are ordered; backoff levels discounted.
+        assert values[0] >= values[1]
+
+    def test_successors_raw_counts(self, bigram):
+        successors = bigram.successors(["home"])
+        assert successors == {"stories": 2, "item3": 1}
+
+
+class TestIntrospection:
+    def test_vocabulary_size(self, bigram):
+        assert bigram.vocabulary_size == 5
+
+    def test_context_count_positive(self, bigram):
+        assert bigram.context_count() > 1
+
+    def test_incremental_add_sequence(self):
+        model = BackoffNgramModel(order=1)
+        model.add_sequence(["a", "b"])
+        model.add_sequence(["a", "c"])
+        assert set(model.predict(["a"], k=2)) == {"b", "c"}

@@ -1,0 +1,167 @@
+"""Unit tests for repro.ngram.timing and the timed prefetcher."""
+
+import pytest
+
+from repro.cdn.cache import LruTtlCache
+from repro.cdn.edge import EdgeServer
+from repro.cdn.network import LatencyModel
+from repro.cdn.origin import OriginFleet
+from repro.cdn.prefetch import TimedNgramPrefetcher, build_object_index
+from repro.logs.record import CacheStatus
+from repro.ngram.evaluate import build_timed_client_sequences
+from repro.ngram.timing import TimedNgramModel
+from repro.synth.clients import Client
+from repro.synth.domains import CachePolicyKind, DomainPopulation
+from repro.synth.rng import substream
+from repro.synth.sessions import RequestEvent
+from repro.synth.sizes import SizeModel
+from tests.conftest import make_log
+
+
+@pytest.fixture
+def model():
+    timed = TimedNgramModel(order=1)
+    # a → b after ~5s, b → c after ~0.02s (too fast to prefetch).
+    timed.fit(
+        [
+            [(0.0, "a"), (5.0, "b"), (5.02, "c")],
+            [(10.0, "a"), (15.2, "b"), (15.22, "c")],
+            [(30.0, "a"), (34.8, "b"), (34.82, "c")],
+        ]
+    )
+    return timed
+
+
+class TestTimedModel:
+    def test_order_prediction_preserved(self, model):
+        top = model.predict(["a"], k=1)
+        assert top[0].token == "b"
+
+    def test_expected_gap_median(self, model):
+        assert model.expected_gap("a", "b") == pytest.approx(5.0, abs=0.3)
+
+    def test_unknown_transition_gap_none(self, model):
+        assert model.expected_gap("a", "zzz") is None
+
+    def test_prediction_carries_gap(self, model):
+        prediction = model.predict(["a"], k=1)[0]
+        assert prediction.expected_gap_s == pytest.approx(5.0, abs=0.3)
+
+    def test_backed_off_prediction_has_no_gap(self, model):
+        predictions = model.predict(["never-seen"], k=3)
+        assert all(p.expected_gap_s is None for p in predictions)
+
+    def test_negative_gaps_ignored(self):
+        timed = TimedNgramModel(order=1)
+        timed.add_sequence([(5.0, "a"), (3.0, "b")])  # out of order
+        assert timed.expected_gap("a", "b") is None
+
+    def test_gap_stats_percentiles(self, model):
+        stats = model.transition_gap_stats("a", "b")
+        assert stats.count == 3
+        assert stats.percentile_s(0) <= stats.median_s <= stats.percentile_s(100)
+
+    def test_fit_from_logs_helper(self):
+        logs = [
+            make_log(timestamp=0.0, url="/api/v1/a"),
+            make_log(timestamp=4.0, url="/api/v1/b"),
+        ]
+        sequences = build_timed_client_sequences(logs)
+        timed = TimedNgramModel(order=1).fit(sequences.values())
+        flow = next(iter(sequences.values()))
+        assert timed.expected_gap(flow[0][1], flow[1][1]) == pytest.approx(4.0)
+
+
+class TestWorthwhilePrefetches:
+    def test_too_fast_transition_skipped(self, model):
+        # b → c arrives in 20ms; a 100ms origin fetch can't win.
+        selected = model.worthwhile_prefetches(["b"], k=1, min_lead_s=0.1)
+        assert selected == []
+
+    def test_normal_transition_kept(self, model):
+        selected = model.worthwhile_prefetches(["a"], k=1, min_lead_s=0.1)
+        assert [p.token for p in selected] == ["b"]
+
+    def test_beyond_ttl_skipped(self, model):
+        selected = model.worthwhile_prefetches(
+            ["a"], k=1, min_lead_s=0.1, max_lead_s=2.0
+        )
+        assert selected == []
+
+    def test_unknown_timing_kept(self, model):
+        selected = model.worthwhile_prefetches(["never-seen"], k=2, min_lead_s=0.1)
+        assert selected  # order evidence alone still drives prefetch
+
+
+class TestTimedPrefetcher:
+    @pytest.fixture
+    def domains(self):
+        return DomainPopulation(num_domains=25, seed=33)
+
+    @pytest.fixture
+    def edge(self):
+        return EdgeServer(
+            "edge-t",
+            LruTtlCache(1 << 24),
+            OriginFleet(),
+            LatencyModel(substream(4, "lat")),
+            SizeModel(substream(4, "sz")),
+            substream(4, "edge"),
+        )
+
+    @pytest.fixture
+    def client(self):
+        return Client("aa11bb22", "NewsReader/2.0 (iPhone; iOS 13.1)",
+                      "mobile_app", 1.0)
+
+    def _always_domain(self, domains):
+        for domain in domains:
+            if domain.policy.kind is CachePolicyKind.ALWAYS:
+                return domain
+        pytest.skip("no ALWAYS domain")
+
+    def test_prefetches_with_good_timing(self, domains, edge, client):
+        domain = self._always_domain(domains)
+        manifest = f"{domain.name}{domain.manifests[0].url}"
+        item = f"{domain.name}{domain.contents[0].url}"
+        timed = TimedNgramModel(order=1)
+        timed.fit([[(0.0, manifest), (6.0, item)]] * 10)
+        prefetcher = TimedNgramPrefetcher(
+            timed, build_object_index([domain]), k=1, min_lead_s=0.1
+        )
+        event = RequestEvent(0.0, client, domain, domain.manifests[0])
+        edge.serve(event)
+        assert prefetcher.on_request(edge, event) == 1
+        follow = edge.serve(RequestEvent(6.0, client, domain, domain.contents[0]))
+        assert follow.log.cache_status is CacheStatus.HIT
+
+    def test_skips_prefetch_when_gap_too_small(self, domains, edge, client):
+        domain = self._always_domain(domains)
+        manifest = f"{domain.name}{domain.manifests[0].url}"
+        item = f"{domain.name}{domain.contents[0].url}"
+        timed = TimedNgramModel(order=1)
+        timed.fit([[(0.0, manifest), (0.01, item)]] * 10)
+        prefetcher = TimedNgramPrefetcher(
+            timed, build_object_index([domain]), k=1, min_lead_s=0.1
+        )
+        event = RequestEvent(0.0, client, domain, domain.manifests[0])
+        assert prefetcher.on_request(edge, event) == 0
+        assert prefetcher.skipped_timing == 1
+
+    def test_skips_prefetch_beyond_ttl(self, domains, edge, client):
+        domain = self._always_domain(domains)
+        manifest = f"{domain.name}{domain.manifests[0].url}"
+        item = f"{domain.name}{domain.contents[0].url}"
+        gap = domain.policy.ttl_seconds * 2
+        timed = TimedNgramModel(order=1)
+        timed.fit([[(0.0, manifest), (gap, item)]] * 10)
+        prefetcher = TimedNgramPrefetcher(
+            timed, build_object_index([domain]), k=1
+        )
+        event = RequestEvent(0.0, client, domain, domain.manifests[0])
+        assert prefetcher.on_request(edge, event) == 0
+        assert prefetcher.skipped_timing == 1
+
+    def test_invalid_k(self, domains):
+        with pytest.raises(ValueError):
+            TimedNgramPrefetcher(TimedNgramModel(), {}, k=0)

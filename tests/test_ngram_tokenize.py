@@ -1,0 +1,104 @@
+"""Unit tests for repro.ngram.tokenize and .clustering."""
+
+import pytest
+
+from repro.ngram.clustering import UrlClusterer, cluster_segment, cluster_url
+from repro.ngram.tokenize import tokenize_url
+
+
+class TestTokenize:
+    def test_path_segments(self):
+        tokenized = tokenize_url("/api/v1/item/42")
+        assert tokenized.path_segments == ("api", "v1", "item", "42")
+
+    def test_query_args_in_order(self):
+        tokenized = tokenize_url("/search?q=x&page=2")
+        assert tokenized.query_args == (("q", "x"), ("page", "2"))
+
+    def test_bare_query_key(self):
+        tokenized = tokenize_url("/a?debug")
+        assert tokenized.query_args == (("debug", ""),)
+
+    def test_fragment_stripped(self):
+        tokenized = tokenize_url("/a/b#section")
+        assert tokenized.path_segments == ("a", "b")
+
+    def test_empty_segments_removed(self):
+        tokenized = tokenize_url("//a///b/")
+        assert tokenized.path_segments == ("a", "b")
+
+    def test_render_round_trip(self):
+        url = "/api/v2/item/7?page=3&sort=asc"
+        assert tokenize_url(url).render() == url
+
+    def test_render_without_query(self):
+        assert tokenize_url("/a/b").render() == "/a/b"
+
+    def test_no_leading_slash_tolerated(self):
+        assert tokenize_url("a/b").path_segments == ("a", "b")
+
+
+class TestClusterSegment:
+    def test_numeric(self):
+        assert cluster_segment("12345") == "<num>"
+
+    def test_uuid(self):
+        assert cluster_segment("123e4567-e89b-12d3-a456-426614174000") == "<uuid>"
+
+    def test_hex(self):
+        assert cluster_segment("deadbeefcafe1234") == "<hex>"
+
+    def test_mixed_id(self):
+        assert cluster_segment("user_4812abc") == "<id>"
+
+    def test_plain_word_unchanged(self):
+        assert cluster_segment("stories") == "stories"
+
+    def test_version_tag_unchanged(self):
+        # Short tokens like "v1" are structure, not identifiers.
+        assert cluster_segment("v1") == "v1"
+
+
+class TestClusterUrl:
+    def test_item_ids_clustered(self):
+        assert cluster_url("/api/v1/item/48121") == "/api/v1/item/<num>"
+
+    def test_same_shape_same_cluster(self):
+        assert cluster_url("/api/v1/item/1") == cluster_url("/api/v1/item/999")
+
+    def test_arg_values_typed(self):
+        assert cluster_url("/search?q=trending") == "/search?q=<str>"
+        assert cluster_url("/stories?page=3") == "/stories?page=<num>"
+
+    def test_arg_names_preserved(self):
+        clustered = cluster_url("/x?uid=8&mode=full")
+        assert "uid=" in clustered and "mode=" in clustered
+
+    def test_args_sorted_for_stability(self):
+        assert cluster_url("/x?b=1&a=2") == cluster_url("/x?a=9&b=8")
+
+    def test_idempotent(self):
+        url = "/api/v1/item/48121?page=3"
+        once = cluster_url(url)
+        assert cluster_url(once) == once
+
+    def test_manifest_url_unchanged(self):
+        assert cluster_url("/api/v1/home") == "/api/v1/home"
+
+
+class TestMemoizingClusterer:
+    def test_same_result_as_function(self):
+        clusterer = UrlClusterer()
+        url = "/api/v1/item/5?page=2"
+        assert clusterer(url) == cluster_url(url)
+
+    def test_memo_hit_identity(self):
+        clusterer = UrlClusterer()
+        url = "/api/v1/item/5"
+        assert clusterer(url) is clusterer(url)
+
+    def test_memo_bound(self):
+        clusterer = UrlClusterer(max_entries=10)
+        for i in range(25):
+            clusterer(f"/api/v1/item/{i}")
+        assert len(clusterer._memo) <= 11

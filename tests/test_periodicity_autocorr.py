@@ -1,0 +1,143 @@
+"""Unit tests for repro.periodicity.autocorr and .spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.periodicity.autocorr import (
+    acf_local_peak,
+    acf_peak,
+    autocorrelation,
+    bin_series,
+)
+from repro.periodicity.spectrum import (
+    dominant_frequencies,
+    frequency_to_period_bins,
+    periodogram,
+)
+
+
+class TestBinSeries:
+    def test_empty(self):
+        assert bin_series(np.array([])).size == 0
+
+    def test_counts_events_per_bin(self):
+        series = bin_series(np.array([0.0, 0.5, 1.2, 3.9]), 1.0)
+        assert list(series) == [2.0, 1.0, 0.0, 1.0]
+
+    def test_origin_is_first_event(self):
+        series = bin_series(np.array([100.0, 101.0]), 1.0)
+        assert series.size == 2
+
+    def test_explicit_origin(self):
+        series = bin_series(np.array([5.0]), 1.0, origin=0.0)
+        assert series.size == 6
+        assert series[5] == 1.0
+
+    def test_coarser_rate(self):
+        series = bin_series(np.array([0.0, 5.0, 10.0]), 5.0)
+        assert list(series) == [1.0, 1.0, 1.0]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            bin_series(np.array([1.0]), 0.0)
+
+
+class TestAutocorrelation:
+    def test_empty(self):
+        assert autocorrelation(np.zeros(0)).size == 0
+
+    def test_normalized_at_zero(self):
+        series = np.random.default_rng(1).random(128)
+        acf = autocorrelation(series)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_constant_series_is_zero(self):
+        acf = autocorrelation(np.ones(64))
+        assert np.allclose(acf, 0.0)
+
+    def test_periodic_signal_peaks_at_period(self):
+        series = np.zeros(400)
+        series[::20] = 1.0
+        acf = autocorrelation(series)
+        lag, value = acf_peak(acf, min_lag=2, max_lag=100)
+        assert lag == 20
+        assert value > 0.5
+
+    def test_noise_has_low_peaks(self):
+        rng = np.random.default_rng(2)
+        series = (rng.random(500) < 0.05).astype(float)
+        acf = autocorrelation(series)
+        _, value = acf_peak(acf, min_lag=2, max_lag=200)
+        assert value < 0.4
+
+    def test_linear_not_circular(self):
+        # A single impulse has no self-similarity at any positive lag.
+        series = np.zeros(64)
+        series[10] = 1.0
+        acf = autocorrelation(series)
+        assert np.max(np.abs(acf[1:])) < 0.2
+
+
+class TestAcfPeaks:
+    def test_peak_respects_min_lag(self):
+        series = np.zeros(100)
+        series[::3] = 1.0
+        acf = autocorrelation(series)
+        lag, _ = acf_peak(acf, min_lag=5, max_lag=50)
+        assert lag >= 5
+
+    def test_empty_range_returns_zero(self):
+        acf = np.array([1.0, 0.5])
+        assert acf_peak(acf, min_lag=5) == (0, 0.0)
+
+    def test_local_peak_hill_climb(self):
+        series = np.zeros(300)
+        series[::25] = 1.0
+        acf = autocorrelation(series)
+        lag, value = acf_local_peak(acf, around_lag=23, tolerance=4)
+        assert lag == 25
+
+    def test_local_peak_out_of_range(self):
+        acf = np.array([1.0, 0.2, 0.1])
+        lag, value = acf_local_peak(acf, around_lag=10, tolerance=1)
+        assert (lag, value) == (0, 0.0)
+
+
+class TestPeriodogram:
+    def test_empty(self):
+        freqs, power = periodogram(np.zeros(0))
+        assert freqs.size == 0 and power.size == 0
+
+    def test_dc_removed(self):
+        freqs, power = periodogram(np.ones(64) * 10)
+        assert np.max(power) == pytest.approx(0.0, abs=1e-9)
+
+    def test_sinusoid_peak_frequency(self):
+        n = 512
+        t = np.arange(n)
+        series = np.sin(2 * np.pi * t / 16)
+        freqs, power = periodogram(series)
+        peak_freq = freqs[np.argmax(power)]
+        assert peak_freq == pytest.approx(1 / 16, rel=0.05)
+
+    def test_dominant_frequencies_sorted_by_power(self):
+        n = 512
+        t = np.arange(n)
+        series = np.sin(2 * np.pi * t / 16) + 0.3 * np.sin(2 * np.pi * t / 5)
+        freqs, power = periodogram(series)
+        top = dominant_frequencies(freqs, power, top_k=2)
+        assert top[0][1] >= top[1][1]
+        assert top[0][0] == pytest.approx(1 / 16, rel=0.05)
+
+    def test_dominant_frequencies_band_limits(self):
+        n = 256
+        series = np.sin(2 * np.pi * np.arange(n) / 4)
+        freqs, power = periodogram(series)
+        top = dominant_frequencies(freqs, power, top_k=3, min_period_bins=8)
+        for frequency, _ in top:
+            assert 1 / frequency >= 8
+
+    def test_frequency_to_period(self):
+        assert frequency_to_period_bins(0.25) == 4.0
+        with pytest.raises(ValueError):
+            frequency_to_period_bins(0.0)

@@ -1,0 +1,143 @@
+"""Unit tests for repro.periodicity.detector."""
+
+import numpy as np
+import pytest
+
+from repro.periodicity.detector import DetectedPeriod, DetectorConfig, PeriodDetector
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return PeriodDetector()
+
+
+def timer_flow(period, count, jitter=0.3, seed=0, phase=0.0):
+    rng = np.random.default_rng(seed)
+    return np.sort(phase + np.arange(count) * period + rng.normal(0, jitter, count))
+
+
+class TestDetection:
+    @pytest.mark.parametrize("period", [30.0, 60.0, 120.0, 180.0])
+    def test_short_canonical_periods(self, detector, period):
+        flow = timer_flow(period, 40, seed=int(period))
+        found = detector.detect(flow)
+        assert found is not None
+        assert abs(found.period_s - period) <= max(1.5, 0.05 * period)
+
+    @pytest.mark.parametrize("period,count", [(600.0, 40), (900.0, 30), (1800.0, 16)])
+    def test_long_canonical_periods(self, detector, period, count):
+        flow = timer_flow(period, count, seed=int(period))
+        found = detector.detect(flow)
+        assert found is not None
+        assert abs(found.period_s - period) <= max(2.0, 0.05 * period)
+
+    def test_poisson_flow_rejected(self, detector):
+        rng = np.random.default_rng(11)
+        false_positives = 0
+        for i in range(20):
+            flow = np.sort(rng.uniform(0, 3600, 30))
+            if detector.detect(flow) is not None:
+                false_positives += 1
+        assert false_positives <= 1
+
+    def test_merged_multi_client_flow(self, detector):
+        rng = np.random.default_rng(4)
+        period = 60.0
+        parts = [
+            timer_flow(period, 30, seed=i, phase=rng.uniform(0, period))
+            for i in range(6)
+        ]
+        merged = np.sort(np.concatenate(parts))
+        found = detector.detect(merged)
+        assert found is not None
+        assert abs(found.period_s - period) <= 2.0
+
+    def test_survives_dropped_polls(self, detector):
+        rng = np.random.default_rng(5)
+        flow = timer_flow(60.0, 60, seed=5)
+        kept = flow[rng.random(flow.size) > 0.1]
+        found = detector.detect(kept)
+        assert found is not None
+        assert abs(found.period_s - 60.0) <= 1.5
+
+    def test_too_few_events_returns_none(self, detector):
+        assert detector.detect(timer_flow(60.0, 5)) is None
+
+    def test_empty_flow(self, detector):
+        assert detector.detect(np.array([])) is None
+
+    def test_deterministic(self, detector):
+        flow = timer_flow(120.0, 40, seed=9)
+        a = detector.detect(flow)
+        b = detector.detect(flow)
+        assert a.period_s == b.period_s
+
+
+class TestThresholds:
+    def test_thresholds_reported(self, detector):
+        found = detector.detect(timer_flow(60.0, 40, seed=1))
+        assert found.acf_value > found.acf_threshold
+        assert found.spectral_power > found.power_threshold
+
+    def test_more_permutations_tighter_or_similar(self):
+        flow = timer_flow(60.0, 40, seed=2)
+        small = PeriodDetector(DetectorConfig(permutations=10)).detect(flow)
+        large = PeriodDetector(DetectorConfig(permutations=100)).detect(flow)
+        assert small is not None and large is not None
+        assert abs(small.period_s - large.period_s) <= 1.0
+
+    def test_minimum_permutations_enforced(self):
+        # x=2 is degenerate but must not crash.
+        detector = PeriodDetector(DetectorConfig(permutations=2))
+        assert detector.detect(timer_flow(60.0, 40, seed=3)) is not None
+
+
+class TestPeriodMatching:
+    def _detected(self, period):
+        return DetectedPeriod(period, 0.9, 1.0, 0.1, 0.1)
+
+    def test_exact_match(self):
+        assert self._detected(60.0).matches(self._detected(60.0))
+
+    def test_within_tolerance(self):
+        assert self._detected(60.0).matches(self._detected(63.0), tolerance=0.10)
+
+    def test_outside_tolerance(self):
+        assert not self._detected(60.0).matches(self._detected(75.0), tolerance=0.10)
+
+    def test_one_bin_floor_for_small_periods(self):
+        # 2s vs 2.9s: within the 1-second floor.
+        assert self._detected(2.0).matches(self._detected(2.9), tolerance=0.1)
+
+    def test_none_does_not_match(self):
+        assert not self._detected(60.0).matches(None)
+
+
+class TestHarmonicsAndRefinement:
+    def test_fundamental_not_harmonic(self, detector):
+        """A 30s timer must be reported as 30, not 60/90/120."""
+        for seed in range(3):
+            flow = timer_flow(30.0, 60, seed=seed)
+            found = detector.detect(flow)
+            assert found is not None
+            assert abs(found.period_s - 30.0) <= 1.5
+
+    def test_long_flow_refinement_precision(self, detector):
+        """Full-day coarse-binned flows refine to ~second accuracy."""
+        flow = timer_flow(600.0, 140, jitter=0.4, seed=8)
+        assert flow[-1] - flow[0] > 8 * 3600  # forces the coarse path
+        found = detector.detect(flow)
+        assert found is not None
+        assert abs(found.period_s - 600.0) <= 3.0
+
+    def test_densest_window_crop(self):
+        config = DetectorConfig(max_bins=1024)
+        detector = PeriodDetector(config)
+        # 30s timer active only in [0, 1800); long silent tail after.
+        active = timer_flow(30.0, 60, seed=10)
+        stray = np.array([40_000.0, 50_000.0, 60_000.0, 70_000.0,
+                          80_000.0, 85_000.0, 86_000.0, 86_400.0])
+        flow = np.sort(np.concatenate([active, stray]))
+        found = detector.detect(flow)
+        assert found is not None
+        assert abs(found.period_s - 30.0) <= 1.5

@@ -1,0 +1,194 @@
+"""Unit tests for repro.periodicity.flows and .results."""
+
+import numpy as np
+import pytest
+
+from repro.logs.record import CacheStatus, HttpMethod
+from repro.periodicity.flows import FlowFilter, extract_flows
+from repro.periodicity.results import analyze_flows, analyze_logs
+from tests.conftest import make_log
+
+
+def flow_logs(object_url, client, count, start=0.0, step=60.0, **overrides):
+    """`count` requests from one client to one object, fixed spacing."""
+    return [
+        make_log(
+            timestamp=start + i * step,
+            url=object_url,
+            client_ip_hash=client,
+            **overrides,
+        )
+        for i in range(count)
+    ]
+
+
+class TestExtraction:
+    def test_client_flow_below_threshold_dropped(self):
+        logs = flow_logs("/api/v1/poll", "c1", count=5)
+        assert extract_flows(logs) == {}
+
+    def test_object_below_client_threshold_dropped(self):
+        logs = []
+        for i in range(5):  # only 5 clients with >=10 requests
+            logs += flow_logs("/api/v1/poll", f"c{i}", count=12)
+        assert extract_flows(logs) == {}
+
+    def test_passing_flows_extracted(self):
+        logs = []
+        for i in range(10):
+            logs += flow_logs("/api/v1/poll", f"c{i}", count=10)
+        flows = extract_flows(logs)
+        assert len(flows) == 1
+        flow = next(iter(flows.values()))
+        assert flow.client_count == 10
+        assert flow.request_count == 100
+
+    def test_custom_filter(self):
+        logs = []
+        for i in range(3):
+            logs += flow_logs("/api/v1/poll", f"c{i}", count=4)
+        flows = extract_flows(
+            logs,
+            FlowFilter(min_requests_per_client_flow=3, min_clients_per_object_flow=3),
+        )
+        assert len(flows) == 1
+
+    def test_non_json_excluded_by_default(self):
+        logs = []
+        for i in range(10):
+            logs += flow_logs("/page", f"c{i}", count=10, mime_type="text/html")
+        assert extract_flows(logs) == {}
+
+    def test_non_json_included_when_disabled(self):
+        logs = []
+        for i in range(10):
+            logs += flow_logs("/page", f"c{i}", count=10, mime_type="text/html")
+        flows = extract_flows(logs, FlowFilter(json_only=False))
+        assert len(flows) == 1
+
+    def test_timestamps_sorted_within_flow(self):
+        logs = flow_logs("/api/v1/poll", "c1", count=10)[::-1]
+        for i in range(9):
+            logs += flow_logs("/api/v1/poll", f"x{i}", count=10)
+        flows = extract_flows(logs)
+        flow = next(iter(flows.values()))
+        timestamps = flow.client_flows[
+            [c for c in flow.client_flows if c.startswith("c1")][0]
+        ].timestamps
+        assert list(timestamps) == sorted(timestamps)
+
+    def test_upload_and_uncacheable_counts(self):
+        logs = flow_logs(
+            "/api/v1/telemetry",
+            "c1",
+            count=10,
+            method=HttpMethod.POST,
+            request_bytes=64,
+            cache_status=CacheStatus.NO_STORE,
+            ttl_seconds=None,
+        )
+        for i in range(9):
+            logs += flow_logs("/api/v1/telemetry", f"x{i}", count=10)
+        flows = extract_flows(logs)
+        flow = next(iter(flows.values()))
+        client_flow = [
+            cf for cid, cf in flow.client_flows.items() if cid.startswith("c1")
+        ][0]
+        assert client_flow.upload_count == 10
+        assert client_flow.uncacheable_count == 10
+
+    def test_merged_timestamps_sorted(self):
+        logs = []
+        for i in range(10):
+            logs += flow_logs("/api/v1/poll", f"c{i}", count=10, start=float(i))
+        flow = next(iter(extract_flows(logs).values()))
+        merged = flow.merged_timestamps()
+        assert merged.size == 100
+        assert list(merged) == sorted(merged)
+
+
+class TestAnalysis:
+    def _periodic_logs(self, num_clients=10, period=60.0, count=20):
+        logs = []
+        rng = np.random.default_rng(3)
+        for i in range(num_clients):
+            phase = float(rng.uniform(0, period))
+            for j in range(count):
+                logs.append(
+                    make_log(
+                        timestamp=phase + j * period + float(rng.normal(0, 0.2)),
+                        url="/api/v1/poll",
+                        client_ip_hash=f"c{i}",
+                    )
+                )
+        return logs
+
+    def test_periodic_object_detected(self):
+        report = analyze_logs(self._periodic_logs())
+        assert len(report.objects) == 1
+        outcome = next(iter(report.objects.values()))
+        assert outcome.object_period is not None
+        assert abs(outcome.object_period.period_s - 60.0) <= 1.5
+
+    def test_all_clients_labeled_periodic(self):
+        report = analyze_logs(self._periodic_logs())
+        outcome = next(iter(report.objects.values()))
+        assert outcome.periodic_client_share > 0.8
+
+    def test_periodic_fraction_accounts_requests(self):
+        logs = self._periodic_logs()
+        report = analyze_logs(logs)
+        assert report.total_json_requests == len(logs)
+        assert report.periodic_request_fraction > 0.8
+
+    def test_poisson_object_not_periodic(self):
+        rng = np.random.default_rng(9)
+        logs = []
+        for i in range(10):
+            for t in sorted(rng.uniform(0, 7200, 15)):
+                logs.append(
+                    make_log(
+                        timestamp=float(t),
+                        url="/api/v1/feed",
+                        client_ip_hash=f"c{i}",
+                    )
+                )
+        report = analyze_logs(logs)
+        assert report.periodic_request_fraction < 0.2
+
+    def test_histogram_buckets_periods(self):
+        report = analyze_logs(self._periodic_logs())
+        histogram = report.period_histogram(10.0)
+        assert histogram
+        assert histogram[0][0] == 60.0
+
+    def test_share_cdf_monotonic(self):
+        report = analyze_logs(self._periodic_logs())
+        cdf = report.share_cdf()
+        fractions = [fraction for _, fraction in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_upload_fraction_of_periodic_traffic(self):
+        logs = []
+        rng = np.random.default_rng(3)
+        for i in range(10):
+            phase = float(rng.uniform(0, 60))
+            for j in range(20):
+                logs.append(
+                    make_log(
+                        timestamp=phase + j * 60.0 + float(rng.normal(0, 0.2)),
+                        url="/api/v1/events",
+                        client_ip_hash=f"c{i}",
+                        method=HttpMethod.POST,
+                        request_bytes=10,
+                    )
+                )
+        report = analyze_logs(logs)
+        assert report.periodic_upload_fraction > 0.9
+
+    def test_empty_logs(self):
+        report = analyze_logs([])
+        assert report.periodic_request_fraction == 0.0
+        assert report.period_histogram() == []
+        assert report.majority_periodic_fraction() == 0.0

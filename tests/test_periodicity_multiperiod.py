@@ -1,0 +1,88 @@
+"""Unit tests for repro.periodicity.multiperiod."""
+
+import numpy as np
+import pytest
+
+from repro.periodicity.multiperiod import MultiPeriodDetector
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return MultiPeriodDetector()
+
+
+def comb(period, count, phase=0.0, jitter=0.25, seed=0):
+    rng = np.random.default_rng(seed)
+    return phase + np.arange(count) * period + rng.normal(0, jitter, count)
+
+
+class TestSinglePeriodFlows:
+    def test_single_timer_single_component(self, detector):
+        flow = np.sort(comb(60.0, 50, seed=1))
+        components = detector.detect(flow)
+        assert len(components) == 1
+        assert abs(components[0].period_s - 60.0) <= 1.5
+        assert components[0].event_count >= 45
+
+    def test_noise_yields_nothing(self, detector):
+        rng = np.random.default_rng(2)
+        assert detector.detect(np.sort(rng.uniform(0, 3600, 50))) == []
+
+    def test_too_few_events(self, detector):
+        assert detector.detect(np.array([1.0, 2.0, 3.0])) == []
+
+
+class TestTwoTimerFlows:
+    def test_both_periods_recovered(self, detector):
+        merged = np.sort(
+            np.concatenate([comb(30.0, 120, seed=3), comb(90.0, 40, phase=7, seed=4)])
+        )
+        components = detector.detect(merged)
+        periods = sorted(round(c.period_s) for c in components)
+        assert periods == [30, 90]
+
+    def test_event_attribution_roughly_correct(self, detector):
+        merged = np.sort(
+            np.concatenate([comb(30.0, 120, seed=3), comb(90.0, 40, phase=7, seed=4)])
+        )
+        components = detector.detect(merged)
+        by_period = {round(c.period_s): c.event_count for c in components}
+        assert abs(by_period[30] - 120) <= 15
+        assert abs(by_period[90] - 40) <= 10
+
+    def test_strongest_component_first(self, detector):
+        merged = np.sort(
+            np.concatenate([comb(30.0, 120, seed=5), comb(600.0, 12, phase=3, seed=6)])
+        )
+        components = detector.detect(merged)
+        assert components[0].period_s == pytest.approx(30.0, abs=1.5)
+
+    def test_max_periods_respected(self):
+        limited = MultiPeriodDetector(max_periods=1)
+        merged = np.sort(
+            np.concatenate([comb(30.0, 120, seed=7), comb(90.0, 40, phase=5, seed=8)])
+        )
+        assert len(limited.detect(merged)) == 1
+
+    def test_phase_estimate_reasonable(self, detector):
+        flow = np.sort(comb(60.0, 50, phase=0.0, seed=9))
+        component = detector.detect(flow)[0]
+        # Phase is relative to the first event, which sits on the comb.
+        residual = component.phase_s % 60.0
+        assert min(residual, 60.0 - residual) < 3.0
+
+
+class TestConfigValidation:
+    def test_invalid_max_periods(self):
+        with pytest.raises(ValueError):
+            MultiPeriodDetector(max_periods=0)
+
+    def test_min_comb_share_guard(self):
+        # A detector requiring most events on the comb rejects a weak
+        # second timer.
+        strict = MultiPeriodDetector(min_comb_share=0.9)
+        merged = np.sort(
+            np.concatenate([comb(30.0, 100, seed=10), comb(90.0, 30, phase=5, seed=11)])
+        )
+        components = strict.detect(merged)
+        assert len(components) <= 1

@@ -1,0 +1,89 @@
+"""Tests for repro.periodicity.phase."""
+
+import numpy as np
+import pytest
+
+from repro.periodicity.flows import FlowFilter, extract_flows
+from repro.periodicity.phase import (
+    object_phase_profile,
+    phase_coherence,
+)
+from tests.conftest import make_log
+
+
+def build_flow(client_phases, period=60.0, count=20, jitter=0.1, seed=0):
+    """Object flow with one timer client per given phase."""
+    rng = np.random.default_rng(seed)
+    logs = []
+    for index, phase in enumerate(client_phases):
+        for tick in range(count):
+            logs.append(
+                make_log(
+                    timestamp=phase + tick * period + float(rng.normal(0, jitter)),
+                    url="/api/v1/poll",
+                    client_ip_hash=f"c{index}",
+                )
+            )
+    flows = extract_flows(
+        logs,
+        FlowFilter(
+            min_requests_per_client_flow=5,
+            min_clients_per_object_flow=1,
+        ),
+    )
+    return next(iter(flows.values()))
+
+
+class TestPhaseCoherence:
+    def test_identical_phases_fully_coherent(self):
+        assert phase_coherence([5.0, 5.0, 5.0], 60.0) == pytest.approx(1.0)
+
+    def test_opposite_phases_cancel(self):
+        assert phase_coherence([0.0, 30.0], 60.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_stagger_low_coherence(self):
+        phases = [i * 6.0 for i in range(10)]  # evenly spread over 60s
+        assert phase_coherence(phases, 60.0) < 0.05
+
+    def test_empty(self):
+        assert phase_coherence([], 60.0) == 0.0
+
+    def test_wraparound_phases_coherent(self):
+        # 59.5s and 0.5s are 1 second apart on the circle, not 59.
+        assert phase_coherence([59.5, 0.5], 60.0) > 0.99
+
+
+class TestObjectPhaseProfile:
+    def test_synchronized_fleet(self):
+        flow = build_flow([10.0] * 8)
+        profile = object_phase_profile(flow, 60.0)
+        assert profile.synchronized
+        assert profile.coherence > 0.95
+        assert profile.burst_factor > 5.0
+
+    def test_staggered_fleet(self):
+        flow = build_flow([i * 7.5 for i in range(8)])
+        profile = object_phase_profile(flow, 60.0)
+        assert not profile.synchronized
+        assert profile.coherence < 0.3
+        assert profile.burst_factor < 4.0
+
+    def test_client_phases_recovered(self):
+        flow = build_flow([10.0, 40.0], jitter=0.05)
+        profile = object_phase_profile(flow, 60.0)
+        phases = sorted(profile.client_phases_s.values())
+        assert phases[0] == pytest.approx(10.0, abs=0.5)
+        assert phases[1] == pytest.approx(40.0, abs=0.5)
+
+    def test_synchronized_hurts_more_than_staggered(self):
+        """The operational point: same load, very different peaks."""
+        herd = object_phase_profile(build_flow([5.0] * 10), 60.0)
+        spread = object_phase_profile(
+            build_flow([i * 6.0 for i in range(10)]), 60.0
+        )
+        assert herd.burst_factor > 2 * spread.burst_factor
+
+    def test_invalid_period(self):
+        flow = build_flow([0.0])
+        with pytest.raises(ValueError):
+            object_phase_profile(flow, 0.0)

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cdn.cache import LruTtlCache
+from repro.cdn.scheduler import HUMAN, MACHINE, Job, PriorityServer
+from repro.logs.io import read_jsonl, read_tsv, write_jsonl, write_tsv
+from repro.logs.record import CacheStatus, HttpMethod, RequestLog
+from repro.ngram.clustering import cluster_url
+from repro.ngram.model import BackoffNgramModel
+from repro.periodicity.autocorr import autocorrelation, bin_series
+from tests.conftest import make_log
+
+# -- strategies ----------------------------------------------------------
+
+url_segments = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_",
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+printable_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    max_size=60,
+)
+
+log_records = st.builds(
+    make_log,
+    timestamp=st.floats(min_value=0, max_value=2e9, allow_nan=False),
+    user_agent=st.one_of(st.none(), printable_text),
+    method=st.sampled_from([HttpMethod.GET, HttpMethod.HEAD]),
+    url=url_segments.map(lambda segments: "/" + "/".join(segments)),
+    status=st.integers(min_value=100, max_value=599),
+    response_bytes=st.integers(min_value=0, max_value=10**9),
+    cache_status=st.sampled_from([CacheStatus.HIT, CacheStatus.MISS]),
+)
+
+
+class TestSerializationProperties:
+    @given(records=st.lists(log_records, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_jsonl_round_trip(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("io") / "logs.jsonl"
+        write_jsonl(records, path)
+        assert list(read_jsonl(path)) == records
+
+    @given(records=st.lists(log_records, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_tsv_round_trip(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("io") / "logs.tsv"
+        write_tsv(records, path)
+        assert list(read_tsv(path)) == records
+
+    @given(log_records)
+    @settings(max_examples=100, deadline=None)
+    def test_dict_round_trip(self, record):
+        assert RequestLog.from_dict(record.to_dict()) == record
+
+
+class TestClusteringProperties:
+    @given(url_segments, st.lists(st.tuples(
+        st.text(alphabet="abcxyz", min_size=1, max_size=5),
+        st.text(alphabet="abc123", max_size=8),
+    ), max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_cluster_idempotent(self, segments, args):
+        url = "/" + "/".join(segments)
+        if args:
+            url += "?" + "&".join(f"{k}={v}" for k, v in args)
+        once = cluster_url(url)
+        assert cluster_url(once) == once
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=50, deadline=None)
+    def test_numeric_ids_always_merge(self, a, b):
+        assert cluster_url(f"/api/item/{a}") == cluster_url(f"/api/item/{b}")
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d", "e", "f"]),
+                st.integers(min_value=1, max_value=400),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_invariant(self, operations):
+        cache = LruTtlCache(capacity_bytes=1000)
+        now = 0.0
+        for key, size in operations:
+            cache.put(key, size, now)
+            now += 1.0
+            assert cache.used_bytes <= 1000
+            assert cache.used_bytes >= 0
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["get", "put"]),
+                      st.sampled_from(["x", "y", "z"])),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_stats_consistency(self, operations):
+        cache = LruTtlCache(capacity_bytes=500)
+        now = 0.0
+        for op, key in operations:
+            if op == "put":
+                cache.put(key, 50, now)
+            else:
+                cache.get(key, now)
+            now += 1.0
+        stats = cache.stats
+        assert stats.hits + stats.misses + stats.expired == stats.lookups
+        assert 0.0 <= stats.hit_ratio <= 1.0
+
+
+class TestSchedulerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+                st.sampled_from([HUMAN, MACHINE]),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_no_time_travel(self, raw_jobs):
+        jobs = [
+            Job(arrival, service, priority, i)
+            for i, (arrival, service, priority) in enumerate(raw_jobs)
+        ]
+        for priority_mode in (False, True):
+            done = PriorityServer(priority_classes=priority_mode).run(jobs)
+            assert len(done) == len(jobs)
+            for completion in done:
+                assert completion.start_s >= completion.job.arrival_s
+                assert completion.finish_s == pytest.approx(
+                    completion.start_s + completion.job.service_s
+                )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=50, allow_nan=False),
+                st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_single_server_never_overlaps(self, raw_jobs):
+        jobs = [Job(a, s, HUMAN, i) for i, (a, s) in enumerate(raw_jobs)]
+        done = sorted(
+            PriorityServer(num_servers=1).run(jobs), key=lambda c: c.start_s
+        )
+        for earlier, later in zip(done, done[1:]):
+            assert later.start_s >= earlier.finish_s - 1e-9
+
+
+class TestNgramProperties:
+    @given(st.lists(st.lists(st.sampled_from("abcde"), min_size=2, max_size=10),
+                    min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_predictions_unique_and_bounded(self, sequences):
+        model = BackoffNgramModel(order=2)
+        model.fit(sequences)
+        for history in (["a"], ["b", "c"], []):
+            top = model.predict(history, k=5)
+            assert len(top) == len(set(top))
+            assert len(top) <= 5
+
+    @given(st.lists(st.lists(st.sampled_from("abc"), min_size=2, max_size=8),
+                    min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_seen_transition_always_predicted(self, sequences):
+        model = BackoffNgramModel(order=1)
+        model.fit(sequences)
+        first = sequences[0]
+        successors = model.predict([first[0]], k=10)
+        assert first[1] in successors
+
+
+class TestSignalProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=10_000, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_binning_conserves_events(self, raw_times):
+        timestamps = np.sort(np.asarray(raw_times))
+        series = bin_series(timestamps, 1.0)
+        assert series.sum() == pytest.approx(len(raw_times))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=500, allow_nan=False),
+            min_size=4,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_acf_bounded(self, raw_times):
+        series = bin_series(np.sort(np.asarray(raw_times)), 1.0)
+        acf = autocorrelation(series)
+        if acf.size:
+            assert np.all(acf <= 1.0 + 1e-9)
+            assert acf[0] == pytest.approx(1.0) or np.allclose(acf, 0.0)

@@ -1,0 +1,147 @@
+"""Property-based tests on signal-processing and stream invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs.anonymize import IpAnonymizer
+from repro.logs.merge import is_time_ordered, merge_sorted
+from repro.ngram.baseline import PerClientRecencyPredictor
+from repro.periodicity.detector import DetectorConfig, PeriodDetector
+from repro.periodicity.phase import phase_coherence
+from tests.conftest import make_log
+
+_DETECTOR = PeriodDetector(DetectorConfig(permutations=20))
+
+
+def _timer_flow(period: float, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.sort(np.arange(count) * period + rng.normal(0, 0.2, count))
+
+
+class TestDetectorInvariances:
+    @given(
+        period=st.sampled_from([30.0, 60.0, 120.0]),
+        shift=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_translation_invariance(self, period, shift, seed):
+        """Shifting a flow in time must not change its period."""
+        flow = _timer_flow(period, 40, seed)
+        base = _DETECTOR.detect(flow)
+        shifted = _DETECTOR.detect(flow + shift)
+        assert base is not None and shifted is not None
+        assert abs(base.period_s - shifted.period_s) <= 1.0
+
+    @given(
+        period=st.sampled_from([30.0, 60.0]),
+        scale=st.sampled_from([2.0, 3.0]),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_dilation_scales_period(self, period, scale, seed):
+        """Stretching time by k must scale the detected period by k."""
+        flow = _timer_flow(period, 40, seed)
+        base = _DETECTOR.detect(flow)
+        dilated = _DETECTOR.detect(flow * scale)
+        assert base is not None and dilated is not None
+        assert dilated.period_s == pytest.approx(
+            base.period_s * scale, rel=0.08
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_detection_is_deterministic(self, seed):
+        flow = _timer_flow(60.0, 30, seed)
+        first = _DETECTOR.detect(flow)
+        second = _DETECTOR.detect(flow)
+        assert (first is None) == (second is None)
+        if first is not None:
+            assert first.period_s == second.period_s
+
+
+class TestPhaseProperties:
+    @given(
+        phase=st.floats(min_value=0, max_value=59.9, allow_nan=False),
+        count=st.integers(min_value=2, max_value=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_identical_phases_max_coherence(self, phase, count):
+        assert phase_coherence([phase] * count, 60.0) == pytest.approx(1.0)
+
+    @given(
+        offset=st.floats(min_value=0, max_value=60, allow_nan=False),
+        phases=st.lists(
+            st.floats(min_value=0, max_value=60, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rotation_invariance(self, offset, phases):
+        """Rotating every phase by the same offset keeps coherence."""
+        base = phase_coherence(phases, 60.0)
+        rotated = phase_coherence(
+            [(p + offset) % 60.0 for p in phases], 60.0
+        )
+        assert rotated == pytest.approx(base, abs=1e-6)
+
+    @given(
+        phases=st.lists(
+            st.floats(min_value=0, max_value=60, allow_nan=False),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coherence_bounded(self, phases):
+        assert 0.0 <= phase_coherence(phases, 60.0) <= 1.0 + 1e-9
+
+
+class TestMergeProperties:
+    @given(
+        streams=st.lists(
+            st.lists(
+                st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                max_size=30,
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_sorted_and_complete(self, streams):
+        log_streams = [
+            [make_log(timestamp=t) for t in sorted(times)] for times in streams
+        ]
+        merged = list(merge_sorted(log_streams))
+        assert is_time_ordered(merged)
+        assert len(merged) == sum(len(s) for s in streams)
+
+
+class TestAnonymizerProperties:
+    @given(
+        octets=st.tuples(
+            st.integers(0, 255), st.integers(0, 255),
+            st.integers(0, 255), st.integers(0, 255),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_stable_and_hex(self, octets):
+        anonymizer = IpAnonymizer(b"t" * 32)
+        ip = ".".join(str(o) for o in octets)
+        first = anonymizer.anonymize(ip)
+        assert first == anonymizer.anonymize(ip)
+        assert len(first) == 16
+        int(first, 16)
+
+
+class TestRecencyPredictorProperties:
+    @given(st.lists(st.sampled_from("abcdef"), max_size=30),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_predictions_subset_of_history(self, history, k):
+        predictions = PerClientRecencyPredictor().predict(history, k)
+        assert set(predictions) <= set(history)
+        assert len(predictions) == len(set(predictions))
+        assert len(predictions) <= k

@@ -1,0 +1,79 @@
+"""Unit tests for repro.synth.clients."""
+
+import pytest
+
+from repro.synth.clients import DEFAULT_SEGMENT_MIX, Client, ClientPopulation
+
+
+@pytest.fixture(scope="module")
+def population():
+    return ClientPopulation(num_clients=3000, seed=5)
+
+
+class TestSegmentMix:
+    def test_mix_sums_to_one(self):
+        assert sum(DEFAULT_SEGMENT_MIX.values()) == pytest.approx(1.0)
+
+    def test_all_segments_present(self, population):
+        counts = population.segment_counts()
+        for segment in DEFAULT_SEGMENT_MIX:
+            assert counts.get(segment, 0) > 0
+
+    def test_segment_counts_near_weights(self, population):
+        counts = population.segment_counts()
+        total = len(population)
+        for segment, weight in DEFAULT_SEGMENT_MIX.items():
+            share = counts[segment] / total
+            assert abs(share - weight) < 0.04, segment
+
+    def test_custom_mix(self):
+        pop = ClientPopulation(200, seed=1, segment_mix={"sdk": 1.0})
+        assert set(pop.segment_counts()) == {"sdk"}
+
+    def test_unnormalized_mix_accepted(self):
+        pop = ClientPopulation(100, seed=1, segment_mix={"sdk": 2, "no_ua": 2})
+        assert len(pop) == 100
+
+    def test_zero_weight_mix_rejected(self):
+        with pytest.raises(ValueError):
+            ClientPopulation(10, seed=1, segment_mix={"sdk": 0.0})
+
+
+class TestClients:
+    def test_reproducible(self):
+        a = ClientPopulation(100, seed=9)
+        b = ClientPopulation(100, seed=9)
+        assert [c.ip_hash for c in a] == [c.ip_hash for c in b]
+        assert [c.user_agent for c in a] == [c.user_agent for c in b]
+
+    def test_no_ua_segment_has_no_user_agent(self, population):
+        for client in population.by_segment().get("no_ua", []):
+            assert client.user_agent is None
+
+    def test_other_segments_have_user_agent(self, population):
+        for segment, group in population.by_segment().items():
+            if segment == "no_ua":
+                continue
+            assert all(client.user_agent for client in group)
+
+    def test_ip_hash_looks_hashed(self, population):
+        client = population.clients[0]
+        assert len(client.ip_hash) == 16
+        int(client.ip_hash, 16)
+
+    def test_activity_positive(self, population):
+        assert all(client.activity > 0 for client in population)
+
+    def test_client_key_matches_log_format(self, population):
+        client = population.clients[0]
+        assert client.client_key == f"{client.ip_hash}|{client.user_agent or ''}"
+
+    def test_human_capable_flags(self):
+        human = Client("ab", "ua", "mobile_app", 1.0)
+        script = Client("cd", "curl/1.0", "sdk", 1.0)
+        assert human.is_human_capable
+        assert not script.is_human_capable
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            ClientPopulation(0)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.synth.domains."""
+
+import pytest
+
+from repro.core.taxonomy import IndustryCategory
+from repro.synth.domains import (
+    CATEGORY_DOMAIN_SHARE,
+    CATEGORY_POLICY_MIX,
+    CachePolicy,
+    CachePolicyKind,
+    DomainPopulation,
+    EndpointKind,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return DomainPopulation(num_domains=400, seed=11)
+
+
+class TestCachePolicy:
+    def test_always_policy(self):
+        policy = CachePolicy(CachePolicyKind.ALWAYS)
+        assert policy.object_cacheable("d.com/any")
+
+    def test_never_policy(self):
+        policy = CachePolicy(CachePolicyKind.NEVER)
+        assert not policy.object_cacheable("d.com/any")
+
+    def test_mixed_policy_is_stable_per_object(self):
+        policy = CachePolicy(CachePolicyKind.MIXED, mixed_uncacheable_share=0.5)
+        url = "d.com/api/v1/item/5"
+        assert policy.object_cacheable(url) == policy.object_cacheable(url)
+
+    def test_mixed_policy_share_roughly_respected(self):
+        policy = CachePolicy(CachePolicyKind.MIXED, mixed_uncacheable_share=0.3)
+        urls = [f"d.com/api/v1/item/{i}" for i in range(2000)]
+        uncacheable = sum(1 for url in urls if not policy.object_cacheable(url))
+        assert 0.2 < uncacheable / len(urls) < 0.4
+
+
+class TestCalibrationTables:
+    def test_category_shares_sum_to_one(self):
+        assert sum(CATEGORY_DOMAIN_SHARE.values()) == pytest.approx(1.0)
+
+    def test_policy_mixes_sum_to_one(self):
+        for category, (never, always, mixed) in CATEGORY_POLICY_MIX.items():
+            assert never + always + mixed == pytest.approx(1.0), category
+
+    def test_financial_mostly_uncacheable(self):
+        never, always, _ = CATEGORY_POLICY_MIX[IndustryCategory.FINANCIAL]
+        assert never > 0.8 and always < 0.1
+
+    def test_news_mostly_cacheable(self):
+        never, always, _ = CATEGORY_POLICY_MIX[IndustryCategory.NEWS_MEDIA]
+        assert always > 0.6 and never < 0.2
+
+
+class TestPopulation:
+    def test_population_size(self, population):
+        assert len(population) == 400
+
+    def test_reproducible(self):
+        a = DomainPopulation(50, seed=3)
+        b = DomainPopulation(50, seed=3)
+        assert [d.name for d in a] == [d.name for d in b]
+        assert [d.policy.kind for d in a] == [d.policy.kind for d in b]
+
+    def test_different_seed_differs(self):
+        a = DomainPopulation(50, seed=3)
+        b = DomainPopulation(50, seed=4)
+        assert [d.name for d in a] != [d.name for d in b]
+
+    def test_domain_names_unique(self, population):
+        names = [domain.name for domain in population]
+        assert len(names) == len(set(names))
+
+    def test_policy_marginals_near_paper(self, population):
+        shares = population.policy_kind_shares()
+        # Paper: ~50% never, ~30% always (Figure 4 marginals).
+        assert abs(shares[CachePolicyKind.NEVER] - 0.50) < 0.10
+        assert abs(shares[CachePolicyKind.ALWAYS] - 0.30) < 0.10
+
+    def test_popularity_weights_normalized(self, population):
+        assert sum(population.popularity_weights()) == pytest.approx(1.0)
+
+    def test_by_category_partition(self, population):
+        grouped = population.by_category()
+        assert sum(len(group) for group in grouped.values()) == len(population)
+
+
+class TestDomainStructure:
+    def test_every_domain_has_manifest_and_content(self, population):
+        for domain in population:
+            assert domain.manifests
+            assert len(domain.contents) >= 10
+            assert domain.configs
+
+    def test_urls_are_absolute_paths(self, population):
+        for domain in list(population)[:20]:
+            for endpoint in domain.json_endpoints:
+                assert endpoint.url.startswith("/api/v")
+
+    def test_telemetry_endpoints_are_uploads(self, population):
+        for domain in population:
+            for endpoint in domain.telemetry:
+                assert endpoint.method.is_upload()
+                assert endpoint.kind is EndpointKind.TELEMETRY
+
+    def test_polls_are_downloads(self, population):
+        for domain in population:
+            for endpoint in domain.polls:
+                assert endpoint.method.is_download()
+
+    def test_pages_are_html(self, population):
+        for domain in population:
+            for page in domain.pages:
+                assert page.mime_type == "text/html"
+
+    def test_json_endpoints_are_json(self, population):
+        domain = population.domains[0]
+        for endpoint in domain.json_endpoints:
+            assert endpoint.mime_type == "application/json"
+
+    def test_never_domain_has_no_cacheable_endpoints(self, population):
+        for domain in population:
+            if domain.policy.kind is CachePolicyKind.NEVER:
+                assert not any(e.cacheable for e in domain.json_endpoints)
+                break
+        else:
+            pytest.skip("no NEVER domain in sample")
+
+    def test_always_domain_fully_cacheable(self, population):
+        for domain in population:
+            if domain.policy.kind is CachePolicyKind.ALWAYS:
+                assert all(e.cacheable for e in domain.json_endpoints)
+                break
+        else:
+            pytest.skip("no ALWAYS domain in sample")
+
+    def test_periodic_endpoints_union(self, population):
+        domain = population.domains[0]
+        assert set(domain.periodic_endpoints) == set(
+            domain.telemetry + domain.polls
+        )
+
+    def test_invalid_population_size(self):
+        with pytest.raises(ValueError):
+            DomainPopulation(0)

@@ -1,0 +1,142 @@
+"""Unit tests for repro.synth.periodic."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.synth.clients import Client
+from repro.synth.domains import DomainPopulation
+from repro.synth.periodic import (
+    CANONICAL_PERIODS,
+    PeriodicAgent,
+    PeriodicObjectSpec,
+    agent_duty_window,
+    choose_period,
+    choose_periodic_share,
+)
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return DomainPopulation(num_domains=3, seed=8).domains[0]
+
+
+@pytest.fixture
+def spec(domain):
+    return PeriodicObjectSpec(
+        domain=domain,
+        endpoint=domain.telemetry[0],
+        period_s=60.0,
+        periodic_client_share=0.5,
+    )
+
+
+def make_agent(spec, start=0.0, end=3600.0, jitter=0.1, drop=0.0):
+    client = Client("ffee", "FitTrack/1.0 (Android 10) okhttp/3.12.1",
+                    "mobile_app", 1.0)
+    return PeriodicAgent(
+        client=client,
+        spec=spec,
+        phase_s=5.0,
+        jitter_s=jitter,
+        drop_probability=drop,
+        active_start=start,
+        active_end=end,
+    )
+
+
+class TestCanonicalPeriods:
+    def test_matches_figure5_spikes(self):
+        periods = {period for period, _ in CANONICAL_PERIODS}
+        assert periods == {30.0, 60.0, 120.0, 180.0, 600.0, 900.0, 1800.0}
+
+    def test_weights_sum_to_one(self):
+        assert sum(weight for _, weight in CANONICAL_PERIODS) == pytest.approx(1.0)
+
+    def test_choose_period_only_canonical(self):
+        rng = random.Random(4)
+        for _ in range(200):
+            assert choose_period(rng) in {p for p, _ in CANONICAL_PERIODS}
+
+
+class TestPeriodicShare:
+    def test_share_in_unit_interval(self):
+        rng = random.Random(4)
+        for _ in range(500):
+            assert 0.0 < choose_periodic_share(rng) < 1.0
+
+    def test_majority_fraction_near_target(self):
+        rng = random.Random(4)
+        shares = [choose_periodic_share(rng, majority_share=0.2) for _ in range(3000)]
+        majority = sum(1 for share in shares if share > 0.5) / len(shares)
+        assert 0.12 < majority < 0.30
+
+
+class TestAgentGeneration:
+    def test_tick_count_close_to_expected(self, spec):
+        agent = make_agent(spec, end=3600.0)
+        events = agent.generate(random.Random(1))
+        assert abs(len(events) - 60) <= 2
+
+    def test_intervals_cluster_at_period(self, spec):
+        agent = make_agent(spec, end=7200.0, jitter=0.2)
+        events = agent.generate(random.Random(2))
+        times = np.array([event.timestamp for event in events])
+        gaps = np.diff(np.sort(times))
+        # Most gaps are one period ± jitter.
+        close = np.abs(gaps - 60.0) < 2.0
+        assert close.mean() > 0.9
+
+    def test_drops_reduce_count(self, spec):
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        full = make_agent(spec, drop=0.0).generate(rng_a)
+        dropped = make_agent(spec, drop=0.3).generate(rng_b)
+        assert len(dropped) < len(full)
+
+    def test_events_within_active_window(self, spec):
+        agent = make_agent(spec, start=1000.0, end=2000.0)
+        for event in agent.generate(random.Random(4)):
+            assert 1000.0 <= event.timestamp < 2000.0
+
+    def test_expected_requests_estimate(self, spec):
+        agent = make_agent(spec, end=3600.0, drop=0.1)
+        assert agent.expected_requests == pytest.approx(54.0)
+
+    def test_events_carry_spec_endpoint(self, spec):
+        agent = make_agent(spec, end=600.0)
+        for event in agent.generate(random.Random(5)):
+            assert event.endpoint is spec.endpoint
+
+    def test_object_id(self, spec, domain):
+        assert spec.object_id == f"{domain.name}{domain.telemetry[0].url}"
+
+
+class TestDutyWindow:
+    def test_short_period_bounded_duty(self):
+        rng = random.Random(6)
+        start, end = agent_duty_window(rng, 30.0, 0.0, 86400.0)
+        assert 0.0 <= start < end <= 86400.0
+        assert end - start < 86400.0
+
+    def test_duty_fits_min_requests(self):
+        rng = random.Random(6)
+        for period in (30.0, 60.0, 180.0):
+            start, end = agent_duty_window(rng, period, 0.0, 86400.0,
+                                           min_requests=12)
+            assert (end - start) / period >= 12
+
+    def test_long_period_long_duty(self):
+        rng = random.Random(6)
+        durations = []
+        for _ in range(50):
+            start, end = agent_duty_window(rng, 1800.0, 0.0, 86400.0)
+            durations.append(end - start)
+        # Infrastructure timers run for hours.
+        assert np.median(durations) > 4 * 3600
+
+    def test_window_respects_dataset_bounds(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            start, end = agent_duty_window(rng, 60.0, 500.0, 1300.0)
+            assert 500.0 <= start <= end <= 1300.0

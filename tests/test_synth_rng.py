@@ -1,0 +1,65 @@
+"""Unit tests for repro.synth.rng."""
+
+import pytest
+
+from repro.synth.rng import substream, weighted_choice, zipf_weights
+
+
+class TestSubstream:
+    def test_same_name_same_stream(self):
+        a = substream(42, "clients")
+        b = substream(42, "clients")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_differ(self):
+        a = substream(42, "clients")
+        b = substream(42, "domains")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = substream(1, "clients")
+        b = substream(2, "clients")
+        assert a.random() != b.random()
+
+    def test_nested_names(self):
+        a = substream(1, "clients", "ua")
+        b = substream(1, "clients")
+        assert a.random() != b.random()
+
+    def test_name_path_is_not_concatenation_ambiguous(self):
+        # ("ab", "c") and ("a", "bc") must be different streams.
+        a = substream(1, "ab", "c")
+        b = substream(1, "a", "bc")
+        assert a.random() != b.random()
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 1.0)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_monotonic_decreasing(self):
+        weights = zipf_weights(50, 0.9)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_higher_exponent_more_skewed(self):
+        mild = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 1.5)
+        assert steep[0] > mild[0]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = substream(7, "choice")
+        picks = [
+            weighted_choice(rng, ["a", "b"], [0.99, 0.01]) for _ in range(200)
+        ]
+        assert picks.count("a") > 150

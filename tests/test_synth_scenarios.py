@@ -1,0 +1,152 @@
+"""Tests for repro.synth.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.periodicity.detector import PeriodDetector
+from repro.periodicity.flows import FlowFilter, extract_flows
+from repro.periodicity.phase import object_phase_profile
+from repro.synth.domains import DomainPopulation
+from repro.synth.scenarios import (
+    fleet_with_rogue,
+    flash_crowd,
+    iot_fleet,
+    scanner_probe,
+)
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return DomainPopulation(num_domains=5, seed=31).domains[0]
+
+
+class TestIotFleet:
+    def test_event_count_matches_timer_math(self, domain):
+        events = iot_fleet(domain, domain.telemetry[0], num_devices=5,
+                           period_s=60.0, duration_s=3600.0, seed=1)
+        # 5 devices × ~60 ticks, minus ~3% drops.
+        assert 250 <= len(events) <= 305
+
+    def test_sorted(self, domain):
+        events = iot_fleet(domain, domain.telemetry[0], 4, 60.0, 1800.0)
+        times = [event.timestamp for event in events]
+        assert times == sorted(times)
+
+    def test_detectable_period(self, domain):
+        events = iot_fleet(domain, domain.telemetry[0], 6, 60.0, 3600.0,
+                           seed=2)
+        times = np.array([event.timestamp for event in events])
+        found = PeriodDetector().detect(times)
+        assert found is not None
+        assert abs(found.period_s - 60.0) <= 1.5
+
+    def test_synchronized_phases_coherent(self, domain):
+        for synchronized, expected_high in ((True, True), (False, False)):
+            events = iot_fleet(domain, domain.telemetry[0], 10, 60.0,
+                               3600.0, seed=3, synchronized=synchronized)
+            from repro.logs.record import RequestLog
+
+            logs = [
+                RequestLog(
+                    timestamp=event.timestamp,
+                    client_ip_hash=event.client.ip_hash,
+                    user_agent=event.client.user_agent,
+                    method=event.endpoint.method,
+                    domain=domain.name,
+                    url=event.endpoint.url,
+                    mime_type="application/json",
+                    cache_status="no-store",
+                    request_bytes=10,
+                )
+                for event in events
+            ]
+            flow = next(iter(extract_flows(
+                logs,
+                FlowFilter(min_requests_per_client_flow=5,
+                           min_clients_per_object_flow=1),
+            ).values()))
+            profile = object_phase_profile(flow, 60.0)
+            assert profile.synchronized == expected_high
+
+    def test_validates_devices(self, domain):
+        with pytest.raises(ValueError):
+            iot_fleet(domain, domain.telemetry[0], 0, 60.0, 600.0)
+
+
+class TestFlashCrowd:
+    def test_count_and_target(self, domain):
+        events = flash_crowd(domain, domain.manifests[0], 500, 600.0, seed=4)
+        assert len(events) == 500
+        assert all(event.endpoint is domain.manifests[0] for event in events)
+
+    def test_ramp_shape(self, domain):
+        events = flash_crowd(domain, domain.manifests[0], 4000, 600.0, seed=5)
+        times = [event.timestamp for event in events]
+        first_tenth = sum(1 for t in times if t < 60.0)
+        steady_tenth = sum(1 for t in times if 300.0 <= t < 360.0)
+        # The ramp's opening is visibly quieter than steady state.
+        assert first_tenth < steady_tenth
+
+    def test_many_distinct_clients(self, domain):
+        events = flash_crowd(domain, domain.manifests[0], 1000, 600.0, seed=6)
+        assert len({event.client.ip_hash for event in events}) > 100
+
+    def test_validates_requests(self, domain):
+        with pytest.raises(ValueError):
+            flash_crowd(domain, domain.manifests[0], 0, 600.0)
+
+
+class TestScannerProbe:
+    def test_paths_not_in_domain_api(self, domain):
+        events = scanner_probe(domain, seed=7)
+        api_urls = {endpoint.url for endpoint in domain.json_endpoints}
+        assert all(event.endpoint.url not in api_urls for event in events)
+
+    def test_single_client(self, domain):
+        events = scanner_probe(domain, seed=7)
+        assert len({event.client.ip_hash for event in events}) == 1
+
+    def test_custom_paths(self, domain):
+        events = scanner_probe(domain, paths=["/x", "/y"], seed=8)
+        assert [event.endpoint.url for event in events] == ["/x", "/y"]
+
+
+class TestFleetWithRogue:
+    def test_rogue_is_caught_by_monitor(self, domain):
+        from repro.anomaly import PeriodicAnomalyMonitor
+        from repro.logs.record import RequestLog
+
+        events = fleet_with_rogue(domain, domain.polls[0] if domain.polls
+                                  else domain.telemetry[0],
+                                  num_devices=8, period_s=60.0,
+                                  duration_s=3600.0, seed=9)
+        logs = sorted(
+            (
+                RequestLog(
+                    timestamp=event.timestamp,
+                    client_ip_hash=event.client.ip_hash,
+                    user_agent=event.client.user_agent,
+                    method=event.endpoint.method,
+                    domain=domain.name,
+                    url=event.endpoint.url,
+                    mime_type="application/json",
+                    cache_status="no-store",
+                    request_bytes=(
+                        10 if event.endpoint.method.is_upload() else 0
+                    ),
+                )
+                for event in events
+            ),
+            key=lambda record: record.timestamp,
+        )
+        monitor = PeriodicAnomalyMonitor()
+        object_id = logs[0].object_id
+        monitor.set_baseline(object_id, 60.0)
+        alerts = monitor.scan(logs)
+        assert len(alerts) == 1
+        assert alerts[0].speed_ratio < 0.2
+
+    def test_validates_speedup(self, domain):
+        with pytest.raises(ValueError):
+            fleet_with_rogue(domain, domain.telemetry[0], 3, 60.0, 600.0,
+                             rogue_speedup=1.0)

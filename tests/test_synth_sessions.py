@@ -1,0 +1,148 @@
+"""Unit tests for repro.synth.sessions."""
+
+import random
+
+import pytest
+
+from repro.synth.clients import Client
+from repro.synth.domains import DomainPopulation, EndpointKind
+from repro.synth.sessions import RequestEvent, SessionConfig, SessionGenerator
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return DomainPopulation(num_domains=5, seed=2).domains[0]
+
+
+@pytest.fixture
+def client():
+    return Client("ab12cd34", "NewsReader/1.0 (iPhone; iOS 13.1)", "mobile_app", 1.0)
+
+
+@pytest.fixture
+def generator():
+    return SessionGenerator(random.Random(77))
+
+
+class TestAppSession:
+    def test_starts_with_config_or_manifest(self, generator, client, domain):
+        for _ in range(50):
+            session = generator.app_session(client, domain, 0.0)
+            first_kinds = {session[0].endpoint.kind, session[1].endpoint.kind}
+            assert session[0].endpoint.kind in (
+                EndpointKind.CONFIG,
+                EndpointKind.MANIFEST,
+            )
+            assert EndpointKind.MANIFEST in first_kinds or session[0].endpoint.kind is EndpointKind.MANIFEST
+
+    def test_manifest_always_requested(self, generator, client, domain):
+        session = generator.app_session(client, domain, 0.0)
+        assert any(
+            event.endpoint.kind is EndpointKind.MANIFEST for event in session
+        )
+
+    def test_all_events_json(self, generator, client, domain):
+        session = generator.app_session(client, domain, 0.0)
+        assert all(
+            event.endpoint.mime_type == "application/json" for event in session
+        )
+
+    def test_timestamps_monotonic(self, generator, client, domain):
+        session = generator.app_session(client, domain, 1000.0)
+        times = [event.timestamp for event in session]
+        assert times == sorted(times)
+        assert times[0] >= 1000.0
+
+    def test_session_bounded(self, generator, client, domain):
+        config = SessionConfig(max_steps=10)
+        bounded = SessionGenerator(random.Random(1), config)
+        for _ in range(20):
+            session = bounded.app_session(client, domain, 0.0)
+            assert len(session) <= 10 + 3  # config + manifest + launch telemetry
+
+    def test_content_follows_manifest_pattern(self, generator, client, domain):
+        """Table 1: manifests precede content fetches."""
+        saw_content_after_manifest = 0
+        for _ in range(100):
+            session = generator.app_session(client, domain, 0.0)
+            kinds = [event.endpoint.kind for event in session]
+            if EndpointKind.CONTENT in kinds:
+                first_content = kinds.index(EndpointKind.CONTENT)
+                if EndpointKind.MANIFEST in kinds[:first_content]:
+                    saw_content_after_manifest += 1
+        assert saw_content_after_manifest > 50
+
+    def test_events_carry_client_and_domain(self, generator, client, domain):
+        session = generator.app_session(client, domain, 0.0)
+        assert all(event.client is client for event in session)
+        assert all(event.domain is domain for event in session)
+
+
+class TestBrowserSession:
+    def test_contains_html_page(self, generator, client, domain):
+        session = generator.browser_session(client, domain, 0.0)
+        assert any(event.endpoint.mime_type == "text/html" for event in session)
+
+    def test_contains_static_assets(self, generator, client, domain):
+        session = generator.browser_session(client, domain, 0.0)
+        mimes = {event.endpoint.mime_type for event in session}
+        assert mimes & {"text/css", "application/javascript", "image/jpeg"}
+
+    def test_json_is_minority(self, generator, client, domain):
+        json_count = html_count = 0
+        for _ in range(100):
+            for event in generator.browser_session(client, domain, 0.0):
+                if event.endpoint.mime_type == "application/json":
+                    json_count += 1
+                elif event.endpoint.mime_type == "text/html":
+                    html_count += 1
+        # Browser page loads carry ~0.5 JSON calls per page.
+        assert json_count < html_count
+
+    def test_timestamps_monotonic_nondecreasing(self, generator, client, domain):
+        session = generator.browser_session(client, domain, 50.0)
+        times = [event.timestamp for event in session]
+        assert all(b >= a - 1e-9 for a, b in zip(times, times[1:])) or times == sorted(times)
+
+
+class TestScriptBurst:
+    def test_rapid_fire_timing(self, generator, client, domain):
+        burst = generator.script_burst(client, domain, 0.0)
+        gaps = [
+            b.timestamp - a.timestamp for a, b in zip(burst, burst[1:])
+        ]
+        assert all(gap <= 1.5 for gap in gaps)
+
+    def test_contains_uploads_sometimes(self, generator, client, domain):
+        uploads = 0
+        for _ in range(50):
+            for event in generator.script_burst(client, domain, 0.0):
+                if event.endpoint.method.is_upload():
+                    uploads += 1
+        assert uploads > 0
+
+    def test_bounded_length(self, generator, client, domain):
+        for _ in range(30):
+            assert len(generator.script_burst(client, domain, 0.0)) <= 30
+
+
+class TestRequestEvent:
+    def test_ordering_by_timestamp_only(self, client, domain):
+        endpoint = domain.manifests[0]
+        early = RequestEvent(1.0, client, domain, endpoint)
+        late = RequestEvent(2.0, client, domain, endpoint)
+        assert early < late
+        assert sorted([late, early])[0] is early
+
+    def test_equal_timestamps_sortable(self, client, domain):
+        a = RequestEvent(1.0, client, domain, domain.manifests[0])
+        b = RequestEvent(1.0, client, domain, domain.configs[0])
+        sorted([a, b])  # must not raise
+
+
+class TestReproducibility:
+    def test_same_seed_same_sessions(self, client, domain):
+        a = SessionGenerator(random.Random(123)).app_session(client, domain, 0.0)
+        b = SessionGenerator(random.Random(123)).app_session(client, domain, 0.0)
+        assert [e.endpoint.url for e in a] == [e.endpoint.url for e in b]
+        assert [e.timestamp for e in a] == [e.timestamp for e in b]

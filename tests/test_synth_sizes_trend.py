@@ -1,0 +1,127 @@
+"""Unit tests for repro.synth.sizes and repro.synth.trend."""
+
+import numpy as np
+import pytest
+
+from repro.synth.domains import DomainPopulation, Endpoint, EndpointKind
+from repro.synth.rng import substream
+from repro.synth.sizes import HTML_MIXTURE, SizeModel, json_size_scale
+from repro.synth.trend import MonthlyVolume, TrendModel
+
+
+@pytest.fixture
+def size_model():
+    return SizeModel(substream(1, "sizes"))
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return DomainPopulation(num_domains=3, seed=1).domains[0]
+
+
+class TestSizeModel:
+    def test_sizes_positive(self, size_model, domain):
+        for endpoint in domain.json_endpoints:
+            assert size_model.sample(endpoint) >= 64
+
+    def test_telemetry_smaller_than_content(self, size_model, domain):
+        telemetry = [size_model.sample(domain.telemetry[0]) for _ in range(500)]
+        content = [size_model.sample(domain.contents[0]) for _ in range(500)]
+        assert np.median(telemetry) < np.median(content)
+
+    def test_median_near_endpoint_median(self, size_model, domain):
+        endpoint = domain.manifests[0]
+        samples = [size_model.sample(endpoint) for _ in range(3000)]
+        assert abs(np.median(samples) / endpoint.median_bytes - 1.0) < 0.15
+
+    def test_html_mixture_heavy_tail(self, size_model, domain):
+        page = domain.pages[0]
+        samples = np.array([size_model.sample(page) for _ in range(5000)])
+        p50, p75 = np.percentile(samples, [50, 75])
+        # The document mixture makes p75 a multiple of p50 (≥4x).
+        assert p75 / p50 > 4.0
+
+    def test_html_mixture_weights_sum_to_one(self):
+        assert sum(w for w, _, _ in HTML_MIXTURE) == pytest.approx(1.0)
+
+    def test_request_body_zero_for_get(self, size_model, domain):
+        assert size_model.sample_request_body(domain.manifests[0]) == 0
+
+    def test_request_body_positive_for_post(self, size_model, domain):
+        assert size_model.sample_request_body(domain.telemetry[0]) >= 32
+
+    def test_year_scaling_shrinks_json(self, domain):
+        early = SizeModel(substream(1, "a"), year=2016.0)
+        late = SizeModel(substream(1, "a"), year=2019.0)
+        endpoint = domain.manifests[0]
+        early_sizes = [early.sample(endpoint) for _ in range(2000)]
+        late_sizes = [late.sample(endpoint) for _ in range(2000)]
+        ratio = np.mean(late_sizes) / np.mean(early_sizes)
+        # §4: JSON responses shrank ~28% between 2016 and 2019.
+        assert 0.62 < ratio < 0.82
+
+    def test_year_scaling_does_not_touch_html(self, domain):
+        early = SizeModel(substream(1, "a"), year=2016.0)
+        late = SizeModel(substream(1, "a"), year=2019.0)
+        page = domain.pages[0]
+        early_sizes = np.median([early.sample(page) for _ in range(2000)])
+        late_sizes = np.median([late.sample(page) for _ in range(2000)])
+        assert abs(late_sizes / early_sizes - 1.0) < 0.2
+
+
+class TestJsonSizeScale:
+    def test_normalized_at_2019(self):
+        assert json_size_scale(2019) == pytest.approx(1.0)
+
+    def test_2016_is_about_28pct_larger_budget(self):
+        assert json_size_scale(2016) == pytest.approx(1 / 0.72, rel=0.05)
+
+    def test_monotonic_decrease(self):
+        years = [2016, 2017, 2018, 2019]
+        scales = [json_size_scale(year) for year in years]
+        assert all(a > b for a, b in zip(scales, scales[1:]))
+
+
+class TestTrendModel:
+    def test_month_range(self):
+        model = TrendModel(seed=1)
+        months = model.months()
+        assert months[0] == (2016, 1)
+        assert months[-1] == (2019, 6)
+        assert len(months) == 42
+
+    def test_series_covers_all_months(self):
+        model = TrendModel(seed=1)
+        assert len(model.series()) == len(model.months())
+
+    def test_ratio_grows_to_target(self):
+        model = TrendModel(seed=1, json_end_ratio=4.3)
+        series = model.ratio_series()
+        assert series[0][1] < 1.3
+        assert series[-1][1] > 3.8
+
+    def test_end_ratio_exceeds_4x(self):
+        # Figure 1: JSON requested >4x more than HTML at window end.
+        model = TrendModel(seed=2)
+        assert model.ratio_series()[-1][1] > 4.0
+
+    def test_reproducible(self):
+        a = TrendModel(seed=3).ratio_series()
+        b = TrendModel(seed=3).ratio_series()
+        assert a == b
+
+    def test_counts_positive(self):
+        for volume in TrendModel(seed=1).series():
+            assert all(count > 0 for count in volume.counts.values())
+
+    def test_monthly_volume_ratio_handles_zero(self):
+        volume = MonthlyVolume(2019, 1, {"application/json": 10, "text/html": 0})
+        assert volume.ratio("application/json", "text/html") == float("inf")
+
+    def test_invalid_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            TrendModel(json_start_ratio=2.0, json_end_ratio=1.0)
+
+    def test_label_format(self):
+        volume = MonthlyVolume(2016, 3, {})
+        assert volume.label == "2016-03"

@@ -1,0 +1,137 @@
+"""Integration tests for repro.synth.workload — the dataset builders."""
+
+import pytest
+
+from repro.logs.summary import summarize
+from repro.synth.workload import (
+    EPOCH_2019,
+    WorkloadBuilder,
+    WorkloadConfig,
+    long_term_config,
+    short_term_config,
+)
+
+
+class TestConfigs:
+    def test_short_term_shape(self):
+        config = short_term_config(100_000, seed=1)
+        assert config.duration_s == 600.0
+        assert config.num_domains >= 50
+        assert not config.diurnal
+
+    def test_long_term_shape(self):
+        config = long_term_config(100_000, seed=1)
+        assert config.duration_s == 86_400.0
+        assert config.num_domains == 170
+        assert config.num_edges == 3
+        assert config.diurnal
+
+    def test_overrides_accepted(self):
+        config = long_term_config(1_000, num_domains=30, num_edges=2)
+        assert config.num_domains == 30
+        assert config.num_edges == 2
+
+    def test_end_time(self):
+        config = WorkloadConfig(
+            total_requests=10, duration_s=100.0, num_domains=5, num_clients=5
+        )
+        assert config.end_time == config.start_time + 100.0
+
+
+class TestBuiltDataset:
+    def test_log_count_close_to_json_target(self, short_dataset):
+        json_count = sum(1 for record in short_dataset.logs if record.is_json)
+        target = short_dataset.config.total_requests
+        assert abs(json_count - target) / target < 0.05
+
+    def test_logs_sorted_by_time(self, short_dataset):
+        times = [record.timestamp for record in short_dataset.logs]
+        assert times == sorted(times)
+
+    def test_logs_within_window(self, short_dataset):
+        config = short_dataset.config
+        for record in short_dataset.logs[:2000]:
+            assert config.start_time <= record.timestamp < config.end_time + 1
+
+    def test_epoch_is_2019(self, short_dataset):
+        assert short_dataset.config.start_time == EPOCH_2019
+
+    def test_reproducible(self):
+        config = short_term_config(3_000, seed=77, num_domains=40)
+        a = WorkloadBuilder(config).build()
+        b = WorkloadBuilder(config).build()
+        assert [r.to_dict() for r in a.logs] == [r.to_dict() for r in b.logs]
+
+    def test_different_seeds_differ(self):
+        a = WorkloadBuilder(short_term_config(2_000, seed=1, num_domains=30)).build()
+        b = WorkloadBuilder(short_term_config(2_000, seed=2, num_domains=30)).build()
+        assert [r.to_dict() for r in a.logs] != [r.to_dict() for r in b.logs]
+
+    def test_edges_assigned_consistently(self, short_dataset):
+        per_client = {}
+        for record in short_dataset.logs:
+            per_client.setdefault(record.client_ip_hash, set()).add(record.edge_id)
+        # A client always lands on the same edge (hash affinity).
+        assert all(len(edges) == 1 for edges in per_client.values())
+
+    def test_multiple_edges_used(self, short_dataset):
+        edges = {record.edge_id for record in short_dataset.logs}
+        assert len(edges) == short_dataset.config.num_edges
+
+
+class TestCalibrationMarginals:
+    """The headline §4 marginals must land near the paper's values.
+
+    Tolerances are loose — these are sampling-level checks; the
+    benchmarks do the strict paper-vs-measured comparison.
+    """
+
+    def test_json_html_ratio(self, short_dataset):
+        summary = summarize(short_dataset.logs)
+        json_count = summary.content_types["application/json"]
+        html_count = summary.content_types["text/html"]
+        assert 2.5 < json_count / html_count < 8.0
+
+    def test_get_fraction(self, short_json_logs):
+        get = sum(1 for r in short_json_logs if r.method.value == "GET")
+        assert abs(get / len(short_json_logs) - 0.84) < 0.06
+
+    def test_uncacheable_fraction(self, short_json_logs):
+        uncacheable = sum(1 for r in short_json_logs if not r.cacheable)
+        assert abs(uncacheable / len(short_json_logs) - 0.55) < 0.12
+
+    def test_periodic_fraction_ground_truth(self, long_dataset):
+        fraction = long_dataset.ground_truth.periodic_fraction
+        assert 0.04 < fraction < 0.09
+
+    def test_ground_truth_flows_recorded(self, long_dataset):
+        truth = long_dataset.ground_truth
+        assert truth.periodic_specs
+        assert truth.periodic_flows
+        assert truth.periodic_request_count > 0
+
+    def test_periodic_specs_on_canonical_grid(self, long_dataset):
+        canonical = {30.0, 60.0, 120.0, 180.0, 600.0, 900.0, 1800.0}
+        for spec in long_dataset.ground_truth.periodic_specs.values():
+            assert spec.period_s in canonical
+
+
+class TestEventsApi:
+    def test_build_events_sorted(self):
+        builder = WorkloadBuilder(short_term_config(2_000, seed=3, num_domains=30))
+        events, truth = builder.build_events()
+        times = [event.timestamp for event in events]
+        assert times == sorted(times)
+        assert truth.total_requests > 0
+
+    def test_replay_matches_build(self):
+        builder = WorkloadBuilder(short_term_config(2_000, seed=3, num_domains=30))
+        events, _ = builder.build_events()
+        served = builder.replay(events)
+        assert len(served) == len(events)
+        dataset = WorkloadBuilder(
+            short_term_config(2_000, seed=3, num_domains=30)
+        ).build()
+        assert [s.log.to_dict() for s in served] == [
+            r.to_dict() for r in dataset.logs
+        ]

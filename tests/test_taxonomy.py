@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.taxonomy."""
+
+from repro.core.taxonomy import (
+    AppClass,
+    DeviceType,
+    IndustryCategory,
+    RequestKind,
+    TrafficSource,
+    TriggerType,
+)
+
+
+class TestEnums:
+    def test_device_types_cover_paper_categories(self):
+        values = {device.value for device in DeviceType}
+        assert values == {"mobile", "desktop", "embedded", "unknown"}
+
+    def test_app_class_browser_flag(self):
+        assert AppClass.BROWSER.is_browser
+        assert not AppClass.NATIVE_APP.is_browser
+        assert not AppClass.SDK.is_browser
+
+    def test_trigger_types(self):
+        assert {t.value for t in TriggerType} == {"human", "machine", "unknown"}
+
+    def test_request_kinds(self):
+        assert {k.value for k in RequestKind} == {"download", "upload", "other"}
+
+    def test_industry_categories_cover_figure4(self):
+        names = {category.value for category in IndustryCategory}
+        for expected in (
+            "News/Media",
+            "Sports",
+            "Entertainment",
+            "Financial Services",
+            "Streaming",
+            "Gaming",
+        ):
+            assert expected in names
+        assert len(names) == 11  # the paper's top-11 heatmap rows
+
+    def test_enums_are_string_valued(self):
+        assert isinstance(DeviceType.MOBILE.value, str)
+        assert DeviceType("mobile") is DeviceType.MOBILE
+
+
+class TestTrafficSource:
+    def test_is_browser(self):
+        source = TrafficSource(DeviceType.MOBILE, AppClass.BROWSER)
+        assert source.is_browser
+
+    def test_is_identified(self):
+        assert TrafficSource(DeviceType.MOBILE, AppClass.UNKNOWN).is_identified
+        assert not TrafficSource(DeviceType.UNKNOWN, AppClass.SDK).is_identified
+
+    def test_raw_platform_preserved(self):
+        source = TrafficSource(DeviceType.MOBILE, AppClass.NATIVE_APP, "iOS")
+        assert source.raw_platform == "iOS"
+
+    def test_frozen(self):
+        source = TrafficSource(DeviceType.MOBILE, AppClass.BROWSER)
+        try:
+            source.device = DeviceType.DESKTOP
+            assert False, "should be frozen"
+        except AttributeError:
+            pass

