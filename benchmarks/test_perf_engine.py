@@ -1,0 +1,119 @@
+"""Performance benchmark for the sharded analysis engine.
+
+Measures serial ``run_characterization`` against the 4-worker
+``run_characterization_parallel`` path on a 200k-request synthetic
+dataset (``REPRO_ENGINE_BENCH_REQUESTS`` shrinks it for CI), records
+wall time for both, and checks the two invariants the engine
+guarantees regardless of machine speed:
+
+- counter metrics (traffic source, request type, cacheability,
+  dataset summary) are byte-identical between serial and parallel;
+- the HyperLogLog unique-client estimate lands within 2% of the
+  exact count, including at 100k distinct clients.
+
+No speedup assertion is made: shard fan-out only helps on multi-core
+hosts, and the point of the benchmark is recording, not gating.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.pipeline import (
+    run_characterization,
+    run_characterization_parallel,
+)
+from repro.engine.sketches import HyperLogLog
+from repro.engine.state import CharacterizationState
+from repro.synth.workload import WorkloadBuilder, short_term_config
+
+ENGINE_BENCH_SEED = 2019
+ENGINE_WORKERS = 4
+
+
+def _engine_requests() -> int:
+    return int(os.environ.get("REPRO_ENGINE_BENCH_REQUESTS", "200000"))
+
+
+@pytest.fixture(scope="module")
+def engine_dataset():
+    config = short_term_config(_engine_requests(), seed=ENGINE_BENCH_SEED)
+    return WorkloadBuilder(config).build()
+
+
+@pytest.fixture(scope="module")
+def domain_categories(engine_dataset):
+    return {d.name: d.category.value for d in engine_dataset.domains}
+
+
+def test_perf_engine_serial_vs_parallel(engine_dataset, domain_categories):
+    """Serial vs 4-worker wall time, with identical counter metrics."""
+    logs = engine_dataset.logs
+
+    start = time.perf_counter()
+    serial = run_characterization(logs, domain_categories)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel, stats = run_characterization_parallel(
+        logs,
+        domain_categories,
+        workers=ENGINE_WORKERS,
+        with_stats=True,
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    print(f"\n=== engine benchmark ({len(logs):,} requests) ===")
+    print(f"serial:   {serial_seconds:8.3f} s")
+    print(
+        f"parallel: {parallel_seconds:8.3f} s"
+        f"  ({ENGINE_WORKERS} workers, {stats.total_shards} shards,"
+        f" backend={stats.backend})"
+    )
+    print(f"speedup:  {speedup:8.2f}x  (informational; host-dependent)")
+
+    # The acceptance invariant: counters merge losslessly, so the
+    # parallel report is byte-identical to serial on every counter
+    # metric no matter how shards were scheduled.
+    assert parallel.traffic_source == serial.traffic_source
+    assert parallel.request_type == serial.request_type
+    assert parallel.cacheability == serial.cacheability
+    assert parallel.summary == serial.summary
+    assert parallel.heatmap == serial.heatmap
+    assert stats.total_records == len(logs)
+    assert not stats.failed
+
+
+def test_perf_engine_hll_within_two_percent(engine_dataset):
+    """Merged sketch unique-client estimate tracks the exact count."""
+    state = CharacterizationState().update(engine_dataset.logs)
+    exact = state.summary.num_clients
+    estimate = state.unique_clients_estimate()
+    error = abs(estimate - exact) / exact
+    print(
+        f"\nunique clients: exact {exact:,}, HLL estimate {estimate:,.0f}"
+        f" ({error:.2%} error)"
+    )
+    assert error < 0.02
+
+
+def test_perf_engine_hll_100k_clients():
+    """HLL stays within 2% at 100k distinct clients (paper scale)."""
+    sketch = HyperLogLog()
+    count = 100_000
+    start = time.perf_counter()
+    for index in range(count):
+        sketch.add(f"client-{index:08d}")
+    seconds = time.perf_counter() - start
+    estimate = sketch.estimate()
+    error = abs(estimate - count) / count
+    print(
+        f"\nHLL 100k insert: {seconds:.3f} s"
+        f" ({count / seconds:,.0f} adds/s), estimate {estimate:,.0f}"
+        f" ({error:.2%} error)"
+    )
+    assert error < 0.02

@@ -44,6 +44,14 @@ class CacheabilityStats:
         else:
             self.no_store += 1
 
+    def merge(self, other: "CacheabilityStats") -> "CacheabilityStats":
+        """Combine two partial stats; exact."""
+        self.total += other.total
+        self.hits += other.hits
+        self.misses += other.misses
+        self.no_store += other.no_store
+        return self
+
     @property
     def uncacheable_fraction(self) -> float:
         """§4: nearly 55% of all JSON traffic is not cacheable."""

@@ -90,6 +90,31 @@ class TrafficSourceBreakdown:
         mobile_browser = self.browser_by_device.get(DeviceType.MOBILE.value, 0)
         return (mobile - mobile_browser) / self.total_requests
 
+    # -- folding / merging -------------------------------------------------
+
+    def add(self, record: RequestLog, classifier: UserAgentClassifier) -> None:
+        """Fold one record into the breakdown."""
+        traffic = classifier.classify(record.user_agent)
+        self.total_requests += 1
+        self.device_counts[traffic.device.value] += 1
+        self.app_counts[traffic.app.value] += 1
+        if traffic.app is AppClass.BROWSER:
+            self.browser_by_device[traffic.device.value] += 1
+        if record.user_agent:
+            self.ua_strings_by_device.setdefault(
+                traffic.device.value, set()
+            ).add(record.user_agent)
+
+    def merge(self, other: "TrafficSourceBreakdown") -> "TrafficSourceBreakdown":
+        """Combine two partial breakdowns; exact (counters and sets)."""
+        self.total_requests += other.total_requests
+        self.device_counts.update(other.device_counts)
+        self.app_counts.update(other.app_counts)
+        self.browser_by_device.update(other.browser_by_device)
+        for device, strings in other.ua_strings_by_device.items():
+            self.ua_strings_by_device.setdefault(device, set()).update(strings)
+        return self
+
 
 @dataclass
 class RequestTypeBreakdown:
@@ -124,6 +149,19 @@ class RequestTypeBreakdown:
         )
         return uploads / self.total_requests if self.total_requests else 0.0
 
+    # -- folding / merging -------------------------------------------------
+
+    def add(self, record: RequestLog) -> None:
+        """Fold one record into the breakdown."""
+        self.total_requests += 1
+        self.method_counts[record.method.value] += 1
+
+    def merge(self, other: "RequestTypeBreakdown") -> "RequestTypeBreakdown":
+        """Combine two partial breakdowns; exact."""
+        self.total_requests += other.total_requests
+        self.method_counts.update(other.method_counts)
+        return self
+
 
 def characterize(
     logs: Iterable[RequestLog],
@@ -140,16 +178,6 @@ def characterize(
     for record in logs:
         if json_only and not record.is_json:
             continue
-        traffic = classifier.classify(record.user_agent)
-        source.total_requests += 1
-        source.device_counts[traffic.device.value] += 1
-        source.app_counts[traffic.app.value] += 1
-        if traffic.app is AppClass.BROWSER:
-            source.browser_by_device[traffic.device.value] += 1
-        if record.user_agent:
-            source.ua_strings_by_device.setdefault(
-                traffic.device.value, set()
-            ).add(record.user_agent)
-        request_type.total_requests += 1
-        request_type.method_counts[record.method.value] += 1
+        source.add(record, classifier)
+        request_type.add(record)
     return source, request_type

@@ -28,6 +28,16 @@ class SizeDistribution:
     def add(self, size: int) -> None:
         self.sizes.append(size)
 
+    def merge(self, other: "SizeDistribution") -> "SizeDistribution":
+        """Combine two partial distributions (order-insensitive stats)."""
+        if other.content_type != self.content_type:
+            raise ValueError(
+                "cannot merge distributions of different content types: "
+                f"{self.content_type!r} != {other.content_type!r}"
+            )
+        self.sizes.extend(other.sizes)
+        return self
+
     @property
     def count(self) -> int:
         return len(self.sizes)

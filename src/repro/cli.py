@@ -4,14 +4,19 @@ Subcommands mirror the reproduction workflow::
 
     repro-json-cdn generate  --dataset short --requests 100000 --out logs.jsonl.gz
     repro-json-cdn characterize --logs logs.jsonl.gz
+    repro-json-cdn characterize --logs-dir parts/ --workers 4
     repro-json-cdn patterns  --dataset long --requests 60000
     repro-json-cdn trend
     repro-json-cdn paper     --requests 60000
+    repro-json-cdn engine-bench --requests 50000 --workers 4
 
 ``generate`` writes a synthetic dataset to disk; the analysis
-commands accept either ``--logs <file>`` or generate a dataset on the
-fly.  ``paper`` runs the whole evaluation and prints every table and
-figure.
+commands accept ``--logs <file>``, ``--logs-dir <partitioned dir>``
+(the layout written by ``repro.logs.partition``), or generate a
+dataset on the fly.  ``--workers N`` routes the §4 characterization
+through the sharded engine (``repro.engine``).  ``paper`` runs the
+whole evaluation and prints every table and figure; ``engine-bench``
+measures serial vs sharded characterization on one dataset.
 """
 
 from __future__ import annotations
@@ -21,7 +26,11 @@ import sys
 from typing import List, Optional
 
 from .analysis.trend import analyze_trend
-from .core.pipeline import run_characterization, run_pattern_analysis
+from .core.pipeline import (
+    run_characterization,
+    run_characterization_parallel,
+    run_pattern_analysis,
+)
 from .core.report import render_bar_chart
 from .logs.io import read_logs, write_logs
 from .synth.trend import TrendModel
@@ -37,7 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_dataset_args(p: argparse.ArgumentParser) -> None:
+    def add_dataset_args(
+        p: argparse.ArgumentParser, engine: bool = False
+    ) -> None:
         p.add_argument(
             "--dataset",
             choices=("short", "long"),
@@ -49,6 +60,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--logs", metavar="FILE",
                        help="read logs from FILE instead of generating")
+        if engine:
+            p.add_argument(
+                "--logs-dir", metavar="DIR",
+                help="read logs from a partitioned directory "
+                     "(repro.logs.partition layout) instead of generating",
+            )
+            p.add_argument(
+                "--workers", type=int, default=1,
+                help="worker count for the sharded analysis engine "
+                     "(1 = serial)",
+            )
 
     gen = sub.add_parser("generate", help="generate a synthetic dataset")
     add_dataset_args(gen)
@@ -56,10 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output path (.jsonl/.tsv, optionally .gz)")
 
     cha = sub.add_parser("characterize", help="run the §4 characterization")
-    add_dataset_args(cha)
+    add_dataset_args(cha, engine=True)
+    cha.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist per-shard partial states for resumable runs",
+    )
 
     pat = sub.add_parser("patterns", help="run the §5 pattern analyses")
-    add_dataset_args(pat)
+    add_dataset_args(pat, engine=True)
     pat.add_argument("--permutations", type=int, default=100,
                      help="permutation count x for the period detector")
 
@@ -69,12 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     windows = sub.add_parser(
         "windows", help="windowed (streaming) traffic time series"
     )
-    add_dataset_args(windows)
+    add_dataset_args(windows, engine=True)
     windows.add_argument("--window", type=float, default=300.0,
                          help="tumbling window width in seconds")
 
     paper = sub.add_parser("paper", help="reproduce every table and figure")
-    add_dataset_args(paper)
+    add_dataset_args(paper, engine=True)
 
     validate = sub.add_parser(
         "validate",
@@ -88,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "replay",
         help="what-if TTL sweep: replay a JSON trace under alternative policies",
     )
-    add_dataset_args(replay)
+    add_dataset_args(replay, engine=True)
     replay.add_argument(
         "--ttls",
         default="30,300,3600",
@@ -96,6 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--edges", type=int, default=3,
                         help="edge caches to spread clients across")
+
+    engine_bench = sub.add_parser(
+        "engine-bench",
+        help="measure serial vs sharded-engine characterization",
+    )
+    add_dataset_args(engine_bench, engine=True)
+    engine_bench.set_defaults(workers=4)
+    engine_bench.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="engine execution backend for the parallel run",
+    )
 
     sub.add_parser("experiments", help="list every reproducible artifact")
     return parser
@@ -111,6 +150,10 @@ def _build_dataset(args: argparse.Namespace):
 
 
 def _load_or_generate(args: argparse.Namespace):
+    if getattr(args, "logs_dir", None):
+        from .logs.partition import read_partitioned
+
+        return list(read_partitioned(args.logs_dir)), None
     if args.logs:
         return list(read_logs(args.logs)), None
     dataset = _build_dataset(args)
@@ -126,8 +169,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    logs, categories = _load_or_generate(args)
-    report = run_characterization(logs, categories)
+    workers = getattr(args, "workers", 1)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if getattr(args, "logs_dir", None) and (workers > 1 or checkpoint_dir):
+        # Engine path straight off the partitioned directory: shards
+        # stream their own files, nothing materializes up front.
+        report = run_characterization_parallel(
+            logs_dir=args.logs_dir,
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+        )
+    else:
+        logs, categories = _load_or_generate(args)
+        if workers > 1 or checkpoint_dir:
+            report = run_characterization_parallel(
+                logs, categories, workers=workers, checkpoint_dir=checkpoint_dir
+            )
+        else:
+            report = run_characterization(logs, categories)
     print(report.render(args.dataset))
     return 0
 
@@ -199,10 +258,76 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     _cmd_trend(args)
     print()
     logs, categories = _load_or_generate(args)
-    print(run_characterization(logs, categories).render(args.dataset))
+    workers = getattr(args, "workers", 1)
+    if workers > 1:
+        report = run_characterization_parallel(logs, categories, workers=workers)
+    else:
+        report = run_characterization(logs, categories)
+    print(report.render(args.dataset))
     print()
     print(run_pattern_analysis(logs).render())
     return 0
+
+
+def _cmd_engine_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from .core.pipeline import _characterize_shard
+    from .core.report import render_table
+    from .engine.executor import run_shards
+    from .engine.shard import plan_directory_shards, plan_memory_shards
+    from .logs.partition import read_partitioned
+
+    if getattr(args, "logs_dir", None):
+        shards = plan_directory_shards(args.logs_dir)
+        logs = list(read_partitioned(args.logs_dir))
+        categories = None
+    else:
+        logs, categories = _load_or_generate(args)
+        shards = plan_memory_shards(logs, max(1, args.workers) * 4)
+
+    started = time.perf_counter()
+    serial = run_characterization(logs, categories)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    state, stats = run_shards(
+        shards, _characterize_shard, workers=args.workers, backend=args.backend
+    )
+    parallel_s = time.perf_counter() - started
+    parallel = state.to_report(categories)
+
+    matches = (
+        parallel.traffic_source == serial.traffic_source
+        and parallel.request_type == serial.request_type
+        and parallel.cacheability == serial.cacheability
+        and parallel.summary == serial.summary
+    )
+    exact_clients = serial.summary.num_clients
+    estimate = state.unique_clients_estimate()
+    error = abs(estimate - exact_clients) / exact_clients if exact_clients else 0.0
+    rows = [
+        ["serial", f"{serial_s:.2f}s", "-", "-"],
+        [
+            f"engine ({stats.backend} x{stats.workers})",
+            f"{parallel_s:.2f}s",
+            stats.total_shards,
+            f"{serial_s / parallel_s:.2f}x" if parallel_s else "-",
+        ],
+    ]
+    print(
+        render_table(
+            ["run", "wall time", "shards", "speedup"],
+            rows,
+            title=f"Engine benchmark over {len(logs):,} logs",
+        )
+    )
+    print(f"\ncounter metrics identical to serial: {matches}")
+    print(
+        f"unique clients: exact {exact_clients:,}, "
+        f"HLL estimate {estimate:,.0f} ({error * 100:.2f}% error)"
+    )
+    return 0 if matches else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -267,12 +392,18 @@ _COMMANDS = {
     "paper": _cmd_paper,
     "validate": _cmd_validate,
     "replay": _cmd_replay,
+    "engine-bench": _cmd_engine_bench,
     "experiments": _cmd_experiments,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "workers", 1) < 1:
+        parser.error("--workers must be >= 1")
+    if getattr(args, "logs", None) and getattr(args, "logs_dir", None):
+        parser.error("--logs and --logs-dir are mutually exclusive")
     return _COMMANDS[args.command](args)
 
 

@@ -126,6 +126,11 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
          "repro.periodicity"),
         "benchmarks/test_perf_hotpaths.py", "",
     ),
+    Experiment(
+        "P2", "performance", "Sharded engine vs serial characterization",
+        ("repro.engine", "repro.core.pipeline"),
+        "benchmarks/test_perf_engine.py", "",
+    ),
 )
 
 

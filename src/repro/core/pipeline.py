@@ -5,6 +5,13 @@ type, response type) and :func:`run_pattern_analysis` reproduces §5
 (periodicity + prediction) over any iterable of
 :class:`repro.logs.record.RequestLog` — synthetic or real.
 :meth:`CharacterizationReport.render` prints the §4 findings as text.
+
+:func:`run_characterization_parallel` produces the same §4 report
+through the sharded engine (:mod:`repro.engine`): the dataset splits
+into shards, each shard folds into a mergeable
+:class:`~repro.engine.sketches.CharacterizationState`, and the merged
+state finalizes into a report whose counter metrics are identical to
+the serial ones.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ __all__ = [
     "CharacterizationReport",
     "PatternReport",
     "run_characterization",
+    "run_characterization_parallel",
     "run_pattern_analysis",
 ]
 
@@ -231,6 +239,74 @@ def run_characterization(
         sizes=sizes,
         apps=apps,
     )
+
+
+def _characterize_shard(shard):
+    """Engine map function: fold one shard into a partial §4 state.
+
+    Top-level (not a closure) so the process backend can pickle it.
+    """
+    from ..engine.state import CharacterizationState
+
+    return CharacterizationState().update(shard.iter_logs())
+
+
+def run_characterization_parallel(
+    logs: Optional[Iterable[RequestLog]] = None,
+    domain_categories: Optional[Mapping[str, str]] = None,
+    *,
+    logs_dir: Optional[str] = None,
+    workers: int = 1,
+    backend: str = "auto",
+    num_shards: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    progress=None,
+    with_stats: bool = False,
+):
+    """§4 characterization through the sharded engine.
+
+    Exactly one input source must be given: ``logs`` (an in-memory
+    iterable, sharded by client hash) or ``logs_dir`` (a partitioned
+    log directory written by :func:`repro.logs.partition.write_partitioned`,
+    sharded per edge × hour file so the dataset never materializes).
+
+    The counter metrics of the returned report — traffic source,
+    request type, cacheability, summary counters — are identical to
+    :func:`run_characterization` on the same records, for any
+    ``workers``/``backend``/``num_shards``: the per-shard states
+    merge losslessly and always in plan order.
+
+    ``checkpoint_dir`` enables resume: completed shards persist there
+    and a re-run loads them instead of recomputing.  ``progress`` is
+    called with ``(ShardResult, done, total)`` per finished shard.
+    With ``with_stats=True`` returns ``(report, RunReport)``.
+    """
+    from ..engine.checkpoint import CheckpointStore
+    from ..engine.executor import ShardExecutor
+    from ..engine.shard import plan_directory_shards, plan_memory_shards
+    from ..engine.state import CharacterizationState
+
+    if (logs is None) == (logs_dir is None):
+        raise ValueError("provide exactly one of logs= or logs_dir=")
+    if logs_dir is not None:
+        shards = plan_directory_shards(logs_dir)
+    else:
+        materialized = list(logs)
+        if num_shards is None:
+            num_shards = max(1, workers) * 4
+        shards = plan_memory_shards(materialized, num_shards)
+
+    checkpoint = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    executor = ShardExecutor(
+        workers=workers, backend=backend, checkpoint=checkpoint, progress=progress
+    )
+    state, run_report = executor.run(shards, _characterize_shard)
+    if state is None:
+        state = CharacterizationState()
+    report = state.to_report(domain_categories)
+    if with_stats:
+        return report, run_report
+    return report
 
 
 def run_pattern_analysis(

@@ -1,0 +1,60 @@
+"""Sharded parallel analysis engine.
+
+Splits a dataset into shards (:mod:`repro.engine.shard`), maps each
+shard to a mergeable partial state (:mod:`repro.engine.sketches`),
+runs the map phase on a serial/thread/process backend and folds the
+states back together in deterministic plan order
+(:mod:`repro.engine.executor`), checkpointing partials so interrupted
+runs resume (:mod:`repro.engine.checkpoint`).
+
+See ``docs/engine.md`` for the flow diagram and error bounds.
+"""
+
+from .checkpoint import CheckpointError, CheckpointStore
+from .executor import (
+    BACKENDS,
+    EngineError,
+    RunReport,
+    ShardExecutor,
+    ShardResult,
+    run_shards,
+)
+from .shard import (
+    FileShard,
+    MemoryShard,
+    Shard,
+    plan_directory_shards,
+    plan_memory_shards,
+)
+from .sketches import (
+    CountMinSketch,
+    HyperLogLog,
+    ReservoirSample,
+    TopK,
+    UniqueCounter,
+    stable_hash64,
+)
+from .state import CharacterizationState
+
+__all__ = [
+    "BACKENDS",
+    "CharacterizationState",
+    "CheckpointError",
+    "CheckpointStore",
+    "CountMinSketch",
+    "EngineError",
+    "FileShard",
+    "HyperLogLog",
+    "MemoryShard",
+    "ReservoirSample",
+    "RunReport",
+    "Shard",
+    "ShardExecutor",
+    "ShardResult",
+    "TopK",
+    "UniqueCounter",
+    "plan_directory_shards",
+    "plan_memory_shards",
+    "run_shards",
+    "stable_hash64",
+]

@@ -1,0 +1,122 @@
+"""Per-shard checkpointing: interrupted runs resume, not restart.
+
+A :class:`CheckpointStore` maps shard ids to serialized partial
+states on disk.  The executor consults it before running a shard and
+persists each freshly computed state, so killing a run mid-way loses
+at most the shards in flight; a re-run with the same checkpoint
+directory loads the finished shards and computes only the rest.
+
+On-disk format (documented for ``docs/engine.md``): one file per
+shard, named ``<sanitized shard id>-<8-hex id hash>.ckpt``, holding a
+pickled envelope::
+
+    {"format": "repro-engine-checkpoint", "version": 1,
+     "shard_id": <original id>, "payload": <partial state>}
+
+Writes are atomic (temp file + ``os.replace``), so a kill during a
+save never leaves a truncated checkpoint behind — loads verify the
+envelope and the embedded shard id and treat anything malformed as
+"not checkpointed".
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+from hashlib import blake2b
+from pathlib import Path
+from typing import Any, List, Union
+
+__all__ = ["CheckpointStore", "CheckpointError"]
+
+_FORMAT = "repro-engine-checkpoint"
+_VERSION = 1
+_SUFFIX = ".ckpt"
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file exists but cannot be used."""
+
+
+class CheckpointStore:
+    """Directory of per-shard partial states, keyed by shard id."""
+
+    def __init__(self, directory: Union[str, Path], create: bool = True) -> None:
+        self.directory = Path(directory)
+        if create:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        elif not self.directory.is_dir():
+            raise FileNotFoundError(f"no checkpoint directory at {self.directory}")
+
+    def path_for(self, shard_id: str) -> Path:
+        """Filesystem-safe, collision-free file path for a shard id."""
+        stem = _UNSAFE.sub("_", shard_id)[:80]
+        digest = blake2b(shard_id.encode("utf-8"), digest_size=4).hexdigest()
+        return self.directory / f"{stem}-{digest}{_SUFFIX}"
+
+    def has(self, shard_id: str) -> bool:
+        return self.path_for(shard_id).is_file()
+
+    def save(self, shard_id: str, payload: Any) -> Path:
+        """Atomically persist one shard's partial state."""
+        envelope = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "shard_id": shard_id,
+            "payload": payload,
+        }
+        path = self.path_for(shard_id)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    def load(self, shard_id: str) -> Any:
+        """Load one shard's partial state, verifying the envelope."""
+        path = self.path_for(shard_id)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            raise
+        except Exception as exc:  # truncated/corrupt pickle
+            raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("format") != _FORMAT
+            or envelope.get("version") != _VERSION
+        ):
+            raise CheckpointError(f"{path} is not a v{_VERSION} engine checkpoint")
+        if envelope.get("shard_id") != shard_id:
+            raise CheckpointError(
+                f"{path} holds shard {envelope.get('shard_id')!r}, "
+                f"expected {shard_id!r}"
+            )
+        return envelope["payload"]
+
+    def completed_ids(self) -> List[str]:
+        """Shard ids with a readable checkpoint, sorted."""
+        ids: List[str] = []
+        for path in sorted(self.directory.glob(f"*{_SUFFIX}")):
+            try:
+                with open(path, "rb") as handle:
+                    envelope = pickle.load(handle)
+                if (
+                    isinstance(envelope, dict)
+                    and envelope.get("format") == _FORMAT
+                ):
+                    ids.append(str(envelope["shard_id"]))
+            except Exception:
+                continue
+        return sorted(ids)
+
+    def clear(self) -> int:
+        """Delete every checkpoint file; returns the count removed."""
+        removed = 0
+        for path in self.directory.glob(f"*{_SUFFIX}"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,287 @@
+"""Map/combine/reduce over shards with pluggable backends.
+
+The engine's control loop: a ``map_fn`` turns each :class:`Shard`
+into a mergeable partial state, the executor runs shards on one of
+three backends, and the partial states fold together **in plan
+order** — never completion order — so the merged result is
+bit-for-bit identical no matter which backend ran it or how the
+scheduler interleaved the shards.
+
+Backends:
+
+* ``serial``  — in-process loop; the reference semantics.
+* ``thread``  — :class:`~concurrent.futures.ThreadPoolExecutor`;
+  wins when shards are I/O-bound (gzip partition files).
+* ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`;
+  wins when shards are CPU-bound.  ``map_fn`` and shards must
+  pickle (top-level functions, dataclass shards).
+* ``auto``    — serial for one worker, processes otherwise.
+
+Per-shard failures are captured, not cascaded: every shard gets a
+:class:`ShardResult` (ok/error/timing/provenance), and with
+``strict=True`` (default) the run raises :class:`EngineError` *after*
+all shards finish, listing every failure.  A
+:class:`CheckpointStore` plugs in to skip already-computed shards and
+persist fresh ones; a ``progress`` callback observes each completed
+shard for live reporting.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .checkpoint import CheckpointStore
+from .shard import Shard
+
+__all__ = [
+    "ShardResult",
+    "RunReport",
+    "EngineError",
+    "ShardExecutor",
+    "run_shards",
+]
+
+BACKENDS = ("auto", "serial", "thread", "process")
+
+MapFn = Callable[[Shard], Any]
+ProgressFn = Callable[["ShardResult", int, int], None]
+
+
+class EngineError(RuntimeError):
+    """One or more shards failed in a strict run."""
+
+    def __init__(self, failures: Sequence["ShardResult"]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} shard(s) failed:"]
+        for result in self.failures:
+            first_line = (result.error or "").strip().splitlines()
+            lines.append(f"  {result.shard_id}: {first_line[-1] if first_line else '?'}")
+        super().__init__("\n".join(lines))
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Outcome of one shard: state provenance, timing, error capture."""
+
+    shard_id: str
+    ok: bool
+    seconds: float = 0.0
+    records: Optional[int] = None
+    error: Optional[str] = None
+    from_checkpoint: bool = False
+
+
+@dataclass
+class RunReport:
+    """Aggregate statistics of one engine run."""
+
+    results: List[ShardResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    backend: str = "serial"
+    workers: int = 1
+
+    @property
+    def total_shards(self) -> int:
+        return len(self.results)
+
+    @property
+    def failed(self) -> List[ShardResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def skipped(self) -> int:
+        """Shards satisfied from checkpoints without recomputation."""
+        return sum(1 for result in self.results if result.from_checkpoint)
+
+    @property
+    def executed(self) -> int:
+        return sum(
+            1 for result in self.results if result.ok and not result.from_checkpoint
+        )
+
+    @property
+    def total_records(self) -> Optional[int]:
+        counts = [result.records for result in self.results if result.ok]
+        if not counts or any(count is None for count in counts):
+            return None
+        return sum(counts)
+
+
+def _run_one(map_fn: MapFn, shard: Shard) -> Any:
+    return map_fn(shard)
+
+
+class ShardExecutor:
+    """Runs a shard plan through map/combine/reduce."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        backend: str = "auto",
+        checkpoint: Optional[CheckpointStore] = None,
+        progress: Optional[ProgressFn] = None,
+        strict: bool = True,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.workers = workers
+        self.backend = (
+            ("serial" if workers == 1 else "process") if backend == "auto" else backend
+        )
+        self.checkpoint = checkpoint
+        self.progress = progress
+        self.strict = strict
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, shards: Sequence[Shard], map_fn: MapFn):
+        """Execute the plan; returns ``(merged_state, RunReport)``.
+
+        ``map_fn(shard)`` must return a partial state exposing
+        ``merge(other)``; states merge in plan order.  With an empty
+        plan the merged state is ``None``.
+        """
+        started = time.perf_counter()
+        ids = [shard.shard_id for shard in shards]
+        if len(set(ids)) != len(ids):
+            raise ValueError("shard plan contains duplicate shard ids")
+
+        states: Dict[int, Any] = {}
+        results: Dict[int, ShardResult] = {}
+        pending: List[int] = []
+
+        # Reduce phase 0: satisfy shards from the checkpoint store.
+        for index, shard in enumerate(shards):
+            if self.checkpoint is not None and self.checkpoint.has(shard.shard_id):
+                state = self.checkpoint.load(shard.shard_id)
+                states[index] = state
+                results[index] = ShardResult(
+                    shard_id=shard.shard_id,
+                    ok=True,
+                    records=getattr(state, "record_count", None),
+                    from_checkpoint=True,
+                )
+            else:
+                pending.append(index)
+
+        done_count = len(results)
+        total = len(shards)
+        for index in sorted(results):
+            self._notify(results[index], done_count, total)
+
+        def record_outcome(index: int, state: Any, seconds: float,
+                           error: Optional[str]) -> None:
+            nonlocal done_count
+            shard = shards[index]
+            if error is None:
+                states[index] = state
+                if self.checkpoint is not None:
+                    self.checkpoint.save(shard.shard_id, state)
+            result = ShardResult(
+                shard_id=shard.shard_id,
+                ok=error is None,
+                seconds=seconds,
+                records=getattr(state, "record_count", None) if error is None else None,
+                error=error,
+            )
+            results[index] = result
+            done_count += 1
+            self._notify(result, done_count, total)
+
+        if self.backend == "serial":
+            for index in pending:
+                state, seconds, error = self._map_serial(map_fn, shards[index])
+                record_outcome(index, state, seconds, error)
+        else:
+            self._map_pooled(map_fn, shards, pending, record_outcome)
+
+        # Reduce: merge partial states in plan order, deterministically.
+        merged: Any = None
+        for index in range(total):
+            state = states.get(index)
+            if state is None:
+                continue
+            if merged is None:
+                merged = state
+            else:
+                merged = merged.merge(state)
+
+        report = RunReport(
+            results=[results[index] for index in sorted(results)],
+            elapsed_seconds=time.perf_counter() - started,
+            backend=self.backend,
+            workers=self.workers,
+        )
+        if self.strict and report.failed:
+            raise EngineError(report.failed)
+        return merged, report
+
+    # -- internals ---------------------------------------------------------
+
+    def _notify(self, result: ShardResult, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(result, done, total)
+
+    @staticmethod
+    def _map_serial(map_fn: MapFn, shard: Shard):
+        shard_started = time.perf_counter()
+        try:
+            state = map_fn(shard)
+            return state, time.perf_counter() - shard_started, None
+        except Exception:
+            return None, time.perf_counter() - shard_started, traceback.format_exc()
+
+    def _map_pooled(
+        self,
+        map_fn: MapFn,
+        shards: Sequence[Shard],
+        pending: Sequence[int],
+        record_outcome: Callable[[int, Any, float, Optional[str]], None],
+    ) -> None:
+        pool_cls = ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        pool: Executor
+        with pool_cls(max_workers=self.workers) as pool:
+            started_at: Dict[Any, float] = {}
+            future_index: Dict[Any, int] = {}
+            for index in pending:
+                future = pool.submit(_run_one, map_fn, shards[index])
+                future_index[future] = index
+                started_at[future] = time.perf_counter()
+            outstanding = set(future_index)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = future_index[future]
+                    seconds = time.perf_counter() - started_at[future]
+                    try:
+                        state = future.result()
+                    except Exception:
+                        record_outcome(index, None, seconds, traceback.format_exc())
+                    else:
+                        record_outcome(index, state, seconds, None)
+
+
+def run_shards(
+    shards: Sequence[Shard],
+    map_fn: MapFn,
+    workers: int = 1,
+    backend: str = "auto",
+    checkpoint: Optional[CheckpointStore] = None,
+    progress: Optional[ProgressFn] = None,
+    strict: bool = True,
+):
+    """One-shot convenience wrapper around :class:`ShardExecutor`."""
+    executor = ShardExecutor(
+        workers=workers,
+        backend=backend,
+        checkpoint=checkpoint,
+        progress=progress,
+        strict=strict,
+    )
+    return executor.run(shards, map_fn)

@@ -56,6 +56,29 @@ class DatasetSummary:
             self.add(record)
         return self
 
+    def merge(self, other: "DatasetSummary") -> "DatasetSummary":
+        """Combine two partial summaries; exact (counters and sets)."""
+        self.total_logs += other.total_logs
+        if other.first_timestamp is not None and (
+            self.first_timestamp is None
+            or other.first_timestamp < self.first_timestamp
+        ):
+            self.first_timestamp = other.first_timestamp
+        if other.last_timestamp is not None and (
+            self.last_timestamp is None
+            or other.last_timestamp > self.last_timestamp
+        ):
+            self.last_timestamp = other.last_timestamp
+        self.domains |= other.domains
+        self.clients |= other.clients
+        self.objects |= other.objects
+        self.content_types.update(other.content_types)
+        self.methods.update(other.methods)
+        self.cache_statuses.update(other.cache_statuses)
+        self.total_response_bytes += other.total_response_bytes
+        self.total_request_bytes += other.total_request_bytes
+        return self
+
     # -- derived metrics -------------------------------------------------
 
     @property

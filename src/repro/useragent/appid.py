@@ -156,6 +156,15 @@ class AppUsageReport:
                 identity.version
             ] += 1
 
+    def merge(self, other: "AppUsageReport") -> "AppUsageReport":
+        """Combine two partial reports; exact (counters)."""
+        self.total_requests += other.total_requests
+        self.requests_per_app.update(other.requests_per_app)
+        self.bytes_per_app.update(other.bytes_per_app)
+        for app, versions in other.versions_per_app.items():
+            self.versions_per_app.setdefault(app, Counter()).update(versions)
+        return self
+
     @property
     def identified_fraction(self) -> float:
         """Share of requests attributable to a concrete application."""

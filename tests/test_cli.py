@@ -27,6 +27,51 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["characterize", "--dataset", "medium"])
 
+    @pytest.mark.parametrize(
+        "command", ["characterize", "patterns", "windows", "paper", "replay",
+                    "engine-bench"]
+    )
+    def test_engine_args_on_analysis_commands(self, command):
+        args = build_parser().parse_args(
+            [command, "--workers", "3", "--logs-dir", "parts/"]
+        )
+        assert args.workers == 3
+        assert args.logs_dir == "parts/"
+
+    def test_workers_default_serial(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.workers == 1
+        assert args.logs_dir is None
+
+    def test_engine_bench_defaults(self):
+        args = build_parser().parse_args(["engine-bench"])
+        assert args.workers == 4
+        assert args.backend == "auto"
+
+    def test_engine_bench_backend_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine-bench", "--backend", "gpu"])
+
+    def test_characterize_checkpoint_dir(self):
+        args = build_parser().parse_args(
+            ["characterize", "--checkpoint-dir", "ckpt/"]
+        )
+        assert args.checkpoint_dir == "ckpt/"
+
+    def test_generate_has_no_engine_args(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--out", "x.jsonl", "--workers", "2"]
+            )
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "--requests", "100", "--workers", "0"])
+
+    def test_logs_and_logs_dir_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "--logs", "a.jsonl", "--logs-dir", "b/"])
+
 
 class TestCommands:
     def test_trend(self, capsys):
@@ -85,3 +130,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "What-if TTL sweep" in out
         assert "ttl=60s" in out and "ttl=600s" in out
+
+    def test_characterize_with_workers(self, capsys):
+        assert main(
+            ["characterize", "--requests", "2000", "--seed", "1",
+             "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Table 2" in out
+
+    def test_characterize_from_logs_dir(self, tmp_path, capsys):
+        from repro.logs.partition import write_partitioned
+        from repro.synth.workload import WorkloadBuilder, short_term_config
+
+        dataset = WorkloadBuilder(short_term_config(1500, seed=6)).build()
+        root = tmp_path / "parts"
+        write_partitioned(dataset.logs, root)
+        assert main(
+            ["characterize", "--logs-dir", str(root), "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_engine_bench_smoke(self, capsys):
+        assert main(
+            ["engine-bench", "--requests", "1500", "--seed", "3",
+             "--workers", "2", "--backend", "thread"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Engine benchmark" in out
+        assert "counter metrics identical to serial: True" in out
+        assert "HLL estimate" in out

@@ -48,7 +48,7 @@ class TestReadme:
             for action in parser._actions
             if hasattr(action, "choices") and action.choices
         )
-        for command in re.findall(r"repro-json-cdn (\w+)", readme):
+        for command in re.findall(r"repro-json-cdn ([\w-]+)", readme):
             assert command in subactions.choices, command
 
     def test_quickstart_snippet_runs(self):

@@ -1,0 +1,184 @@
+"""Tests for repro.engine.checkpoint — persistence and resume.
+
+The acceptance scenario: kill a partitioned-directory run mid-way,
+re-run with the same checkpoint dir, and verify completed shards are
+NOT re-executed (counted via marker files that survive process
+boundaries).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import run_characterization, run_characterization_parallel
+from repro.engine.checkpoint import CheckpointError, CheckpointStore
+from repro.engine.executor import EngineError, run_shards
+from repro.engine.shard import plan_directory_shards
+from repro.engine.state import CharacterizationState
+from repro.logs.partition import write_partitioned
+from tests.conftest import make_log
+
+
+@pytest.fixture
+def partition_root(tmp_path):
+    base = 1_559_347_200.0
+    logs = [
+        make_log(
+            timestamp=base + hour * 3600 + minute * 60,
+            edge_id=edge,
+            client_ip_hash=f"{edge}-{minute:02d}",
+        )
+        for edge in ("edge-0", "edge-1", "edge-2")
+        for hour in (0, 1)
+        for minute in (1, 31)
+    ]
+    root = tmp_path / "parts"
+    write_partitioned(logs, root)
+    return root
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        state = CharacterizationState()
+        state.ingest(make_log())
+        store.save("edge-0/2019-06-01-00.jsonl.gz", state)
+        assert store.has("edge-0/2019-06-01-00.jsonl.gz")
+        loaded = store.load("edge-0/2019-06-01-00.jsonl.gz")
+        assert loaded.record_count == 1
+
+    def test_missing_shard(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert not store.has("nope")
+        with pytest.raises(FileNotFoundError):
+            store.load("nope")
+
+    def test_slashes_sanitized_without_collisions(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path_a = store.path_for("edge-0/2019-06-01-00.jsonl.gz")
+        path_b = store.path_for("edge-0_2019-06-01-00.jsonl.gz")
+        assert path_a.parent == Path(tmp_path)
+        assert path_a != path_b  # sanitizing must not alias distinct ids
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.path_for("shard-x").write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            store.load("shard-x")
+
+    def test_wrong_shard_id_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("shard-a", CharacterizationState())
+        # Simulate a renamed/copied checkpoint file.
+        store.path_for("shard-a").rename(store.path_for("shard-b"))
+        with pytest.raises(CheckpointError):
+            store.load("shard-b")
+
+    def test_completed_ids_and_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("b", CharacterizationState())
+        store.save("a", CharacterizationState())
+        assert store.completed_ids() == ["a", "b"]
+        assert store.clear() == 2
+        assert store.completed_ids() == []
+
+    def test_missing_directory_without_create(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CheckpointStore(tmp_path / "absent", create=False)
+
+
+def _marking_map_fn(marker_dir):
+    """Map fn that leaves one marker file per executed shard."""
+
+    def map_fn(shard):
+        marker = Path(marker_dir) / shard.shard_id.replace("/", "__")
+        marker.write_text("ran")
+        return CharacterizationState().update(shard.iter_logs())
+
+    return map_fn
+
+
+def _killed_map_fn(marker_dir, die_after):
+    def map_fn(shard):
+        markers = list(Path(marker_dir).iterdir())
+        if len(markers) >= die_after:
+            raise KeyboardInterrupt("simulated mid-run kill")
+        marker = Path(marker_dir) / shard.shard_id.replace("/", "__")
+        marker.write_text("ran")
+        return CharacterizationState().update(shard.iter_logs())
+
+    return map_fn
+
+
+class TestResume:
+    def test_interrupted_run_resumes_without_recompute(
+        self, partition_root, tmp_path
+    ):
+        """Kill mid-run, re-run same checkpoint dir, count executions."""
+        checkpoint = CheckpointStore(tmp_path / "ckpt")
+        shards = plan_directory_shards(partition_root)
+        assert len(shards) == 6
+
+        first_markers = tmp_path / "first"
+        first_markers.mkdir()
+        with pytest.raises(BaseException):
+            run_shards(
+                shards,
+                _killed_map_fn(first_markers, die_after=3),
+                backend="serial",
+                checkpoint=checkpoint,
+            )
+        executed_first = len(list(first_markers.iterdir()))
+        assert executed_first == 3
+        assert len(checkpoint.completed_ids()) == 3
+
+        second_markers = tmp_path / "second"
+        second_markers.mkdir()
+        state, report = run_shards(
+            shards,
+            _marking_map_fn(second_markers),
+            backend="serial",
+            checkpoint=checkpoint,
+        )
+        executed_second = len(list(second_markers.iterdir()))
+        assert executed_second == len(shards) - executed_first
+        assert report.skipped == executed_first
+        assert report.executed == executed_second
+        # The resumed result covers every record exactly once.
+        assert state.record_count == 12
+
+    def test_resumed_result_equals_fresh(self, partition_root, tmp_path):
+        fresh = run_characterization_parallel(logs_dir=str(partition_root))
+        interrupted_ckpt = str(tmp_path / "ckpt2")
+        # First pass populates every checkpoint...
+        run_characterization_parallel(
+            logs_dir=str(partition_root), checkpoint_dir=interrupted_ckpt
+        )
+        # ...second pass is served entirely from checkpoints.
+        resumed, stats = run_characterization_parallel(
+            logs_dir=str(partition_root),
+            checkpoint_dir=interrupted_ckpt,
+            with_stats=True,
+        )
+        assert stats.skipped == stats.total_shards
+        assert resumed.summary == fresh.summary
+        assert resumed.traffic_source == fresh.traffic_source
+        assert resumed.cacheability == fresh.cacheability
+
+    def test_checkpointed_directory_run_matches_serial(
+        self, partition_root, tmp_path
+    ):
+        from repro.logs.partition import read_partitioned
+
+        records = list(read_partitioned(partition_root))
+        serial = run_characterization(records)
+        parallel = run_characterization_parallel(
+            logs_dir=str(partition_root),
+            workers=2,
+            backend="thread",
+            checkpoint_dir=str(tmp_path / "ckpt3"),
+        )
+        assert parallel.summary == serial.summary
+        assert parallel.traffic_source == serial.traffic_source
+        assert parallel.request_type == serial.request_type
+        assert parallel.cacheability == serial.cacheability

@@ -1,0 +1,201 @@
+"""Tests for repro.engine.executor — backends, determinism, errors.
+
+Map functions used with the process backend must be module-level so
+they pickle.
+"""
+
+import pytest
+
+from repro.core.pipeline import run_characterization, run_characterization_parallel
+from repro.engine.executor import EngineError, ShardExecutor, run_shards
+from repro.engine.shard import MemoryShard, plan_memory_shards
+from repro.engine.state import CharacterizationState
+from tests.conftest import make_log
+
+
+class SumState:
+    """Minimal mergeable state: records the merge order."""
+
+    def __init__(self, values=(), trace=()):
+        self.values = list(values)
+        self.trace = list(trace)
+
+    def merge(self, other):
+        self.values.extend(other.values)
+        self.trace.extend(other.trace)
+        return self
+
+
+def sum_shard(shard):
+    records = list(shard.iter_logs())
+    return SumState(
+        [record.response_bytes for record in records], [shard.shard_id]
+    )
+
+
+def failing_shard(shard):
+    if shard.shard_id.endswith("0002-of-0004"):
+        raise RuntimeError("boom in shard 2")
+    return sum_shard(shard)
+
+
+def characterize_shard(shard):
+    return CharacterizationState().update(shard.iter_logs())
+
+
+@pytest.fixture
+def shards():
+    logs = [
+        make_log(client_ip_hash=f"cl-{index % 17:02x}", response_bytes=index)
+        for index in range(200)
+    ]
+    return plan_memory_shards(logs, 4)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", 1),
+        ("thread", 3),
+        ("process", 2),
+    ])
+    def test_all_backends_agree(self, shards, backend, workers):
+        state, report = run_shards(
+            shards, sum_shard, workers=workers, backend=backend
+        )
+        assert sorted(state.values) == list(range(200))
+        assert report.backend == backend
+        assert report.total_shards == 4
+        assert not report.failed
+
+    def test_merge_order_is_plan_order(self, shards):
+        serial_state, _ = run_shards(shards, sum_shard, backend="serial")
+        thread_state, _ = run_shards(
+            shards, sum_shard, workers=4, backend="thread"
+        )
+        assert serial_state.trace == [shard.shard_id for shard in shards]
+        assert thread_state.trace == serial_state.trace
+        assert thread_state.values == serial_state.values
+
+    def test_auto_backend_selection(self):
+        assert ShardExecutor(workers=1).backend == "serial"
+        assert ShardExecutor(workers=4).backend == "process"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ShardExecutor(backend="gpu")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ShardExecutor(workers=0)
+
+    def test_empty_plan(self):
+        state, report = run_shards([], sum_shard)
+        assert state is None
+        assert report.total_shards == 0
+
+    def test_duplicate_shard_ids_rejected(self):
+        twins = [MemoryShard(shard_id="dup"), MemoryShard(shard_id="dup")]
+        with pytest.raises(ValueError, match="duplicate"):
+            run_shards(twins, sum_shard)
+
+
+class TestErrorCapture:
+    def test_strict_raises_after_all_shards(self, shards):
+        with pytest.raises(EngineError) as excinfo:
+            run_shards(shards, failing_shard, backend="serial")
+        assert "0002-of-0004" in str(excinfo.value)
+        assert len(excinfo.value.failures) == 1
+
+    def test_non_strict_returns_partial(self, shards):
+        state, report = run_shards(
+            shards, failing_shard, backend="serial", strict=False
+        )
+        failed = report.failed
+        assert len(failed) == 1
+        assert "boom in shard 2" in failed[0].error
+        assert report.executed == 3
+        # The three healthy shards still merged.
+        healthy = sum(len(shard.records) for shard in shards) - len(
+            [r for s in shards if s.shard_id.endswith("0002-of-0004")
+             for r in s.records]
+        )
+        assert len(state.values) == healthy
+
+    def test_process_backend_captures_errors(self, shards):
+        state, report = run_shards(
+            shards, failing_shard, workers=2, backend="process", strict=False
+        )
+        assert len(report.failed) == 1
+        assert "boom in shard 2" in report.failed[0].error
+
+
+class TestProgress:
+    def test_progress_called_per_shard(self, shards):
+        seen = []
+
+        def progress(result, done, total):
+            seen.append((result.shard_id, done, total))
+
+        run_shards(shards, sum_shard, backend="serial", progress=progress)
+        assert len(seen) == 4
+        assert [done for _, done, _ in seen] == [1, 2, 3, 4]
+        assert all(total == 4 for _, _, total in seen)
+
+    def test_report_statistics(self, shards):
+        _, report = run_shards(shards, sum_shard, backend="serial")
+        assert report.elapsed_seconds > 0
+        assert report.skipped == 0
+        assert report.executed == 4
+        assert all(result.seconds >= 0 for result in report.results)
+
+
+class TestParallelEqualsSerial:
+    """The tentpole acceptance: engine result == serial pipeline."""
+
+    def test_characterization_identical_across_backends(self, short_dataset):
+        categories = {
+            d.name: d.category.value for d in short_dataset.domains
+        }
+        serial = run_characterization(short_dataset.logs, categories)
+        parallel = run_characterization_parallel(
+            short_dataset.logs, categories, workers=4, backend="process"
+        )
+        assert parallel.traffic_source == serial.traffic_source
+        assert parallel.request_type == serial.request_type
+        assert parallel.cacheability == serial.cacheability
+        assert parallel.summary == serial.summary
+        assert parallel.heatmap == serial.heatmap
+        assert parallel.apps == serial.apps
+        for content_type, dist in serial.sizes.items():
+            assert sorted(parallel.sizes[content_type].sizes) == sorted(dist.sizes)
+
+    def test_shard_count_does_not_matter(self, short_dataset):
+        sample = short_dataset.logs[:4000]
+        reports = [
+            run_characterization_parallel(sample, num_shards=n)
+            for n in (1, 3, 16)
+        ]
+        for report in reports[1:]:
+            assert report.traffic_source == reports[0].traffic_source
+            assert report.summary == reports[0].summary
+
+    def test_hll_estimate_tracks_exact(self, short_dataset):
+        state = CharacterizationState().update(short_dataset.logs)
+        exact = state.summary.num_clients
+        estimate = state.unique_clients_estimate()
+        assert abs(estimate - exact) / exact < 0.02
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            run_characterization_parallel()
+        with pytest.raises(ValueError):
+            run_characterization_parallel([], logs_dir="/tmp/x")
+
+    def test_with_stats(self, short_dataset):
+        sample = short_dataset.logs[:2000]
+        report, stats = run_characterization_parallel(
+            sample, workers=2, backend="thread", with_stats=True
+        )
+        assert stats.total_records == len(sample)
+        assert stats.total_shards == 8  # workers * 4
+        assert report.summary.total_logs == len(sample)

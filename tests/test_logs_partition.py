@@ -98,3 +98,88 @@ class TestReadPartitioned:
         recovered = list(read_partitioned(tmp_path))
         assert len(recovered) == len(sample)
         assert is_time_ordered(recovered)
+
+
+def _multiset(records):
+    import json
+
+    return sorted(
+        json.dumps(record.to_dict(), sort_keys=True) for record in records
+    )
+
+
+class TestShardContract:
+    """Round-trip guarantees the engine's directory shards rely on."""
+
+    BASE = 1_559_347_200.0
+
+    def _edge_logs(self, edge, hours, minute=10):
+        return [
+            make_log(
+                timestamp=self.BASE + hour * 3600 + minute * 60,
+                edge_id=edge,
+                client_ip_hash=f"{edge}-h{hour}",
+            )
+            for hour in hours
+        ]
+
+    def test_many_edges_round_trip(self, tmp_path):
+        logs = []
+        for index in range(5):
+            logs.extend(self._edge_logs(f"edge-{index}", (0, 1, 2)))
+        write_partitioned(logs, tmp_path)
+        recovered = list(read_partitioned(tmp_path))
+        assert _multiset(recovered) == _multiset(logs)
+        assert is_time_ordered(recovered)
+
+    def test_mixed_gzip_and_plain_files(self, tmp_path):
+        """One directory may mix compressed and plain partitions."""
+        early = self._edge_logs("edge-0", (0, 1))
+        late = self._edge_logs("edge-0", (2, 3))
+        write_partitioned(early, tmp_path, fmt="jsonl.gz")
+        write_partitioned(late, tmp_path, fmt="jsonl")
+        names = [path.name for path in iter_partition_files(tmp_path)]
+        assert any(name.endswith(".jsonl.gz") for name in names)
+        assert any(not name.endswith(".gz") for name in names)
+        recovered = list(read_partitioned(tmp_path))
+        assert _multiset(recovered) == _multiset(early + late)
+        assert is_time_ordered(recovered)
+
+    def test_mixed_formats_across_edges(self, tmp_path):
+        a = self._edge_logs("edge-a", (0, 1, 2))
+        b = self._edge_logs("edge-b", (0, 1, 2), minute=40)
+        write_partitioned(a, tmp_path, fmt="tsv.gz")
+        write_partitioned(b, tmp_path, fmt="jsonl")
+        recovered = list(read_partitioned(tmp_path))
+        assert _multiset(recovered) == _multiset(a + b)
+        assert is_time_ordered(recovered)
+
+    def test_out_of_order_bucket_arrival(self, tmp_path):
+        """Buckets written newest-first still read back time-ordered."""
+        for hour in (3, 0, 2, 1):  # deliberately shuffled write order
+            write_partitioned(
+                self._edge_logs("edge-0", (hour,)), tmp_path
+            )
+        recovered = list(read_partitioned(tmp_path))
+        assert is_time_ordered(recovered)
+        assert len(recovered) == 4
+
+    def test_disjoint_hours_across_edges_merge_ordered(self, tmp_path):
+        """Edges with interleaved, non-overlapping hours k-way merge."""
+        a = self._edge_logs("edge-a", (0, 2, 4))
+        b = self._edge_logs("edge-b", (1, 3, 5))
+        write_partitioned(a + b, tmp_path)
+        recovered = list(read_partitioned(tmp_path))
+        assert is_time_ordered(recovered)
+        assert [record.edge_id for record in recovered] == [
+            "edge-a", "edge-b", "edge-a", "edge-b", "edge-a", "edge-b"
+        ]
+
+    def test_day_rollover_bucket_sorts_after(self, tmp_path):
+        logs = self._edge_logs("edge-0", (22, 23, 24, 25))  # crosses midnight
+        write_partitioned(logs, tmp_path)
+        names = [path.name for path in iter_partition_files(tmp_path)]
+        assert names == sorted(names)
+        recovered = list(read_partitioned(tmp_path))
+        assert is_time_ordered(recovered)
+        assert len(recovered) == 4
