@@ -1,18 +1,21 @@
 """Performance benchmark for the sharded analysis engine.
 
-Measures serial ``run_characterization`` against the 4-worker
-``run_characterization_parallel`` path on a 200k-request synthetic
-dataset (``REPRO_ENGINE_BENCH_REQUESTS`` shrinks it for CI), records
-wall time for both, and checks the two invariants the engine
+Measures serial runs of all three engine pipelines — §4
+characterization, §5.1 periodicity, §5.2 ngram — against their
+4-worker parallel paths (``REPRO_ENGINE_BENCH_REQUESTS`` and
+``REPRO_ENGINE_BENCH_PATTERN_REQUESTS`` shrink the datasets for CI),
+records wall time for each, and checks the invariants the engine
 guarantees regardless of machine speed:
 
-- counter metrics (traffic source, request type, cacheability,
-  dataset summary) are byte-identical between serial and parallel;
+- every parallel result is identical to the serial one — counter
+  metrics for characterization, the full per-object outcome map for
+  periodicity, and every (N, K, clustered) hit count for ngram;
 - the HyperLogLog unique-client estimate lands within 2% of the
   exact count, including at 100k distinct clients.
 
-No speedup assertion is made: shard fan-out only helps on multi-core
-hosts, and the point of the benchmark is recording, not gating.
+Speedup is asserted (> 1.5x at 4 process workers) only on hosts with
+at least 4 CPUs and a serial run long enough to amortize the pool
+start-up; elsewhere the timings are informational.
 """
 
 from __future__ import annotations
@@ -25,17 +28,62 @@ import pytest
 from repro.core.pipeline import (
     run_characterization,
     run_characterization_parallel,
+    run_ngram_parallel,
+    run_periodicity_parallel,
 )
 from repro.engine.sketches import HyperLogLog
 from repro.engine.state import CharacterizationState
-from repro.synth.workload import WorkloadBuilder, short_term_config
+from repro.ngram.evaluate import run_table3
+from repro.periodicity.detector import DetectorConfig
+from repro.periodicity.results import analyze_logs
+from repro.synth.workload import (
+    WorkloadBuilder,
+    long_term_config,
+    short_term_config,
+)
 
 ENGINE_BENCH_SEED = 2019
 ENGINE_WORKERS = 4
 
+#: The pattern pipelines bench on the long-term (24 h) shape — it is
+#: the one with enough per-flow history for detection and prediction
+#: to do real work — at a request count whose serial run is seconds,
+#: not minutes (the detector dominates).
+PATTERN_BENCH_SEED = 11
+PATTERN_DETECTOR = DetectorConfig(permutations=25)
+
+#: Assert parallel speedup only where it is physically possible and
+#: the serial run is long enough that pool start-up noise cannot
+#: drown the signal.
+SPEEDUP_FLOOR = 1.5
+MIN_CPUS_FOR_SPEEDUP = 4
+MIN_SERIAL_SECONDS_FOR_SPEEDUP = 1.0
+
 
 def _engine_requests() -> int:
     return int(os.environ.get("REPRO_ENGINE_BENCH_REQUESTS", "200000"))
+
+
+def _pattern_requests() -> int:
+    return int(os.environ.get("REPRO_ENGINE_BENCH_PATTERN_REQUESTS", "8000"))
+
+
+def _assert_or_report_speedup(name, serial_seconds, parallel_seconds):
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    gated = (
+        (os.cpu_count() or 1) >= MIN_CPUS_FOR_SPEEDUP
+        and serial_seconds >= MIN_SERIAL_SECONDS_FOR_SPEEDUP
+    )
+    print(
+        f"speedup:  {speedup:8.2f}x"
+        f"  ({'asserted > %.1fx' % SPEEDUP_FLOOR if gated else 'informational'})"
+    )
+    if gated:
+        assert speedup > SPEEDUP_FLOOR, (
+            f"{name}: expected > {SPEEDUP_FLOOR}x speedup at "
+            f"{ENGINE_WORKERS} process workers, got {speedup:.2f}x "
+            f"(serial {serial_seconds:.2f}s, parallel {parallel_seconds:.2f}s)"
+        )
 
 
 @pytest.fixture(scope="module")
@@ -47,6 +95,12 @@ def engine_dataset():
 @pytest.fixture(scope="module")
 def domain_categories(engine_dataset):
     return {d.name: d.category.value for d in engine_dataset.domains}
+
+
+@pytest.fixture(scope="module")
+def pattern_dataset():
+    config = long_term_config(_pattern_requests(), seed=PATTERN_BENCH_SEED)
+    return WorkloadBuilder(config).build()
 
 
 def test_perf_engine_serial_vs_parallel(engine_dataset, domain_categories):
@@ -86,6 +140,73 @@ def test_perf_engine_serial_vs_parallel(engine_dataset, domain_categories):
     assert parallel.heatmap == serial.heatmap
     assert stats.total_records == len(logs)
     assert not stats.failed
+
+
+def test_perf_engine_periodicity_serial_vs_parallel(pattern_dataset):
+    """§5.1 serial vs 4-worker process run, identical outcomes."""
+    logs = pattern_dataset.logs
+
+    start = time.perf_counter()
+    serial = analyze_logs(logs, detector_config=PATTERN_DETECTOR)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel, stage_reports = run_periodicity_parallel(
+        logs,
+        detector_config=PATTERN_DETECTOR,
+        workers=ENGINE_WORKERS,
+        backend="process",
+        with_stats=True,
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    shards = sum(report.total_shards for report in stage_reports)
+    print(f"\n=== periodicity benchmark ({len(logs):,} requests) ===")
+    print(f"serial:   {serial_seconds:8.3f} s")
+    print(
+        f"parallel: {parallel_seconds:8.3f} s"
+        f"  ({ENGINE_WORKERS} workers, {shards} shards, backend=process)"
+    )
+
+    # Exactness first: the whole per-object outcome map (periods,
+    # provenance, per-client verdicts, tallies) must be identical.
+    assert parallel.total_json_requests == serial.total_json_requests
+    assert sorted(parallel.objects) == sorted(serial.objects)
+    for object_id, expected in serial.objects.items():
+        assert parallel.objects[object_id] == expected, object_id
+    assert len(serial.object_periods()) >= 3, "bench workload too sparse"
+
+    _assert_or_report_speedup("periodicity", serial_seconds, parallel_seconds)
+
+
+def test_perf_engine_ngram_serial_vs_parallel(pattern_dataset):
+    """§5.2 serial vs 4-worker process run, identical hit counts."""
+    logs = pattern_dataset.logs
+
+    start = time.perf_counter()
+    serial = run_table3(logs)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel, stage_reports = run_ngram_parallel(
+        logs, workers=ENGINE_WORKERS, backend="process", with_stats=True
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    shards = sum(report.total_shards for report in stage_reports)
+    print(f"\n=== ngram benchmark ({len(logs):,} requests) ===")
+    print(f"serial:   {serial_seconds:8.3f} s")
+    print(
+        f"parallel: {parallel_seconds:8.3f} s"
+        f"  ({ENGINE_WORKERS} workers, {shards} shards, backend=process)"
+    )
+
+    assert parallel == serial
+    assert all(result.total > 100 for result in serial.values()), (
+        "bench workload too sparse"
+    )
+
+    _assert_or_report_speedup("ngram", serial_seconds, parallel_seconds)
 
 
 def test_perf_engine_hll_within_two_percent(engine_dataset):

@@ -6,17 +6,22 @@ Subcommands mirror the reproduction workflow::
     repro-json-cdn characterize --logs logs.jsonl.gz
     repro-json-cdn characterize --logs-dir parts/ --workers 4
     repro-json-cdn patterns  --dataset long --requests 60000
+    repro-json-cdn periodicity --dataset long --workers 4
+    repro-json-cdn ngram --dataset long --workers 4
     repro-json-cdn trend
     repro-json-cdn paper     --requests 60000
-    repro-json-cdn engine-bench --requests 50000 --workers 4
+    repro-json-cdn engine-bench --requests 50000 --workers 4 --pipeline all
 
 ``generate`` writes a synthetic dataset to disk; the analysis
 commands accept ``--logs <file>``, ``--logs-dir <partitioned dir>``
 (the layout written by ``repro.logs.partition``), or generate a
-dataset on the fly.  ``--workers N`` routes the §4 characterization
-through the sharded engine (``repro.engine``).  ``paper`` runs the
-whole evaluation and prints every table and figure; ``engine-bench``
-measures serial vs sharded characterization on one dataset.
+dataset on the fly.  ``--workers N`` routes the §4 characterization,
+the §5.1 periodicity analysis (``periodicity``), and the §5.2 ngram
+sweep (``ngram``) through the sharded engine (``repro.engine``);
+``--checkpoint-dir`` makes any engine run resumable.  ``paper`` runs
+the whole evaluation and prints every table and figure;
+``engine-bench`` measures serial vs sharded runs of any (or all) of
+the three engine pipelines on one dataset.
 """
 
 from __future__ import annotations
@@ -27,9 +32,14 @@ from typing import List, Optional
 
 from .analysis.trend import analyze_trend
 from .core.pipeline import (
+    render_ngram,
+    render_periodicity,
     run_characterization,
     run_characterization_parallel,
+    run_ngram_parallel,
     run_pattern_analysis,
+    run_pattern_analysis_parallel,
+    run_periodicity_parallel,
 )
 from .core.report import render_bar_chart
 from .logs.io import read_logs, write_logs
@@ -88,6 +98,32 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(pat, engine=True)
     pat.add_argument("--permutations", type=int, default=100,
                      help="permutation count x for the period detector")
+    pat.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist per-shard partial states for resumable runs",
+    )
+
+    per = sub.add_parser(
+        "periodicity", help="run the §5.1 periodicity analysis"
+    )
+    add_dataset_args(per, engine=True)
+    per.add_argument("--permutations", type=int, default=100,
+                     help="permutation count x for the period detector")
+    per.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist per-shard partial states for resumable runs",
+    )
+
+    ngram = sub.add_parser(
+        "ngram", help="run the §5.2 ngram prediction sweep (Table 3)"
+    )
+    add_dataset_args(ngram, engine=True)
+    ngram.add_argument("--order", type=int, default=1,
+                       help="maximum ngram history length N")
+    ngram.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist per-shard partial states for resumable runs",
+    )
 
     trend = sub.add_parser("trend", help="print the Figure 1 ratio series")
     trend.add_argument("--seed", type=int, default=0)
@@ -134,6 +170,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "serial", "thread", "process"),
         default="auto",
         help="engine execution backend for the parallel run",
+    )
+    engine_bench.add_argument(
+        "--pipeline",
+        choices=("characterization", "periodicity", "ngram", "all"),
+        default="characterization",
+        help="which engine pipeline(s) to benchmark",
+    )
+    engine_bench.add_argument(
+        "--permutations", type=int, default=20,
+        help="period-detector permutation count for the periodicity bench",
     )
 
     sub.add_parser("experiments", help="list every reproducible artifact")
@@ -194,11 +240,62 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 def _cmd_patterns(args: argparse.Namespace) -> int:
     from .periodicity.detector import DetectorConfig
 
-    logs, _ = _load_or_generate(args)
-    report = run_pattern_analysis(
-        logs, detector_config=DetectorConfig(permutations=args.permutations)
-    )
+    detector_config = DetectorConfig(permutations=args.permutations)
+    workers = getattr(args, "workers", 1)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if workers > 1 or checkpoint_dir:
+        if getattr(args, "logs_dir", None):
+            report = run_pattern_analysis_parallel(
+                logs_dir=args.logs_dir,
+                detector_config=detector_config,
+                workers=workers,
+                checkpoint_dir=checkpoint_dir,
+            )
+        else:
+            logs, _ = _load_or_generate(args)
+            report = run_pattern_analysis_parallel(
+                logs,
+                detector_config=detector_config,
+                workers=workers,
+                checkpoint_dir=checkpoint_dir,
+            )
+    else:
+        logs, _ = _load_or_generate(args)
+        report = run_pattern_analysis(logs, detector_config=detector_config)
     print(report.render())
+    return 0
+
+
+def _cmd_periodicity(args: argparse.Namespace) -> int:
+    from .periodicity.detector import DetectorConfig
+
+    detector_config = DetectorConfig(permutations=args.permutations)
+    kwargs = dict(
+        detector_config=detector_config,
+        workers=getattr(args, "workers", 1),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+    )
+    if getattr(args, "logs_dir", None):
+        report = run_periodicity_parallel(logs_dir=args.logs_dir, **kwargs)
+    else:
+        logs, _ = _load_or_generate(args)
+        report = run_periodicity_parallel(logs, **kwargs)
+    print(render_periodicity(report))
+    return 0
+
+
+def _cmd_ngram(args: argparse.Namespace) -> int:
+    kwargs = dict(
+        ns=tuple(range(1, args.order + 1)),
+        workers=getattr(args, "workers", 1),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+    )
+    if getattr(args, "logs_dir", None):
+        results = run_ngram_parallel(logs_dir=args.logs_dir, **kwargs)
+    else:
+        logs, _ = _load_or_generate(args)
+        results = run_ngram_parallel(logs, **kwargs)
+    print(render_ngram(results))
     return 0
 
 
@@ -269,21 +366,17 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_engine_bench(args: argparse.Namespace) -> int:
+def _bench_characterization(args, logs, categories):
+    """serial vs engine §4 run; returns (rows, matches, notes)."""
     import time
 
     from .core.pipeline import _characterize_shard
-    from .core.report import render_table
     from .engine.executor import run_shards
     from .engine.shard import plan_directory_shards, plan_memory_shards
-    from .logs.partition import read_partitioned
 
     if getattr(args, "logs_dir", None):
         shards = plan_directory_shards(args.logs_dir)
-        logs = list(read_partitioned(args.logs_dir))
-        categories = None
     else:
-        logs, categories = _load_or_generate(args)
         shards = plan_memory_shards(logs, max(1, args.workers) * 4)
 
     started = time.perf_counter()
@@ -307,14 +400,132 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
     estimate = state.unique_clients_estimate()
     error = abs(estimate - exact_clients) / exact_clients if exact_clients else 0.0
     rows = [
-        ["serial", f"{serial_s:.2f}s", "-", "-"],
+        ["characterization serial", f"{serial_s:.2f}s", "-", "-"],
         [
-            f"engine ({stats.backend} x{stats.workers})",
+            f"characterization engine ({stats.backend} x{stats.workers})",
             f"{parallel_s:.2f}s",
             stats.total_shards,
             f"{serial_s / parallel_s:.2f}x" if parallel_s else "-",
         ],
     ]
+    notes = [
+        f"unique clients: exact {exact_clients:,}, "
+        f"HLL estimate {estimate:,.0f} ({error * 100:.2f}% error)"
+    ]
+    return rows, matches, notes
+
+
+def _bench_periodicity(args, logs):
+    """serial vs engine §5.1 run; returns (rows, matches, notes)."""
+    import time
+
+    from .periodicity.detector import DetectorConfig
+    from .periodicity.results import analyze_logs
+
+    detector_config = DetectorConfig(permutations=args.permutations)
+    started = time.perf_counter()
+    serial = analyze_logs(logs, detector_config=detector_config)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel, stage_reports = run_periodicity_parallel(
+        logs,
+        detector_config=detector_config,
+        workers=args.workers,
+        backend=args.backend,
+        with_stats=True,
+    )
+    parallel_s = time.perf_counter() - started
+
+    matches = (
+        sorted(parallel.objects) == sorted(serial.objects)
+        and render_periodicity(parallel) == render_periodicity(serial)
+    )
+    shards = sum(report.total_shards for report in stage_reports)
+    backend = stage_reports[0].backend
+    rows = [
+        ["periodicity serial", f"{serial_s:.2f}s", "-", "-"],
+        [
+            f"periodicity engine ({backend} x{args.workers})",
+            f"{parallel_s:.2f}s",
+            shards,
+            f"{serial_s / parallel_s:.2f}x" if parallel_s else "-",
+        ],
+    ]
+    notes = [
+        f"periodic objects: {len(parallel.object_periods())}, "
+        f"periodic requests: {parallel.periodic_request_count:,}"
+    ]
+    return rows, matches, notes
+
+
+def _bench_ngram(args, logs):
+    """serial vs engine §5.2 run; returns (rows, matches, notes)."""
+    import time
+
+    from .ngram.evaluate import run_table3
+
+    started = time.perf_counter()
+    serial = run_table3(logs)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel, stage_reports = run_ngram_parallel(
+        logs, workers=args.workers, backend=args.backend, with_stats=True
+    )
+    parallel_s = time.perf_counter() - started
+
+    matches = serial == parallel
+    shards = sum(report.total_shards for report in stage_reports)
+    backend = stage_reports[0].backend
+    rows = [
+        ["ngram serial", f"{serial_s:.2f}s", "-", "-"],
+        [
+            f"ngram engine ({backend} x{args.workers})",
+            f"{parallel_s:.2f}s",
+            shards,
+            f"{serial_s / parallel_s:.2f}x" if parallel_s else "-",
+        ],
+    ]
+    top1 = parallel.get((1, 1, True))
+    notes = [
+        f"clustered top-1 accuracy: {top1.accuracy:.3f}" if top1 else ""
+    ]
+    return rows, matches, [note for note in notes if note]
+
+
+def _cmd_engine_bench(args: argparse.Namespace) -> int:
+    from .core.report import render_table
+    from .logs.partition import read_partitioned
+
+    if getattr(args, "logs_dir", None):
+        logs = list(read_partitioned(args.logs_dir))
+        categories = None
+    else:
+        logs, categories = _load_or_generate(args)
+
+    pipelines = (
+        ("characterization", "periodicity", "ngram")
+        if args.pipeline == "all"
+        else (args.pipeline,)
+    )
+    rows = []
+    notes = []
+    all_match = True
+    for pipeline in pipelines:
+        if pipeline == "characterization":
+            bench_rows, matches, bench_notes = _bench_characterization(
+                args, logs, categories
+            )
+        elif pipeline == "periodicity":
+            bench_rows, matches, bench_notes = _bench_periodicity(args, logs)
+        else:
+            bench_rows, matches, bench_notes = _bench_ngram(args, logs)
+        rows.extend(bench_rows)
+        notes.extend(bench_notes)
+        notes.append(f"{pipeline} results identical to serial: {matches}")
+        all_match = all_match and matches
+
     print(
         render_table(
             ["run", "wall time", "shards", "speedup"],
@@ -322,12 +533,10 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
             title=f"Engine benchmark over {len(logs):,} logs",
         )
     )
-    print(f"\ncounter metrics identical to serial: {matches}")
-    print(
-        f"unique clients: exact {exact_clients:,}, "
-        f"HLL estimate {estimate:,.0f} ({error * 100:.2f}% error)"
-    )
-    return 0 if matches else 1
+    print()
+    for note in notes:
+        print(note)
+    return 0 if all_match else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -387,6 +596,8 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "characterize": _cmd_characterize,
     "patterns": _cmd_patterns,
+    "periodicity": _cmd_periodicity,
+    "ngram": _cmd_ngram,
     "trend": _cmd_trend,
     "windows": _cmd_windows,
     "paper": _cmd_paper,

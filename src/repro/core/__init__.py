@@ -5,7 +5,11 @@ from .pipeline import (
     CharacterizationReport,
     PatternReport,
     run_characterization,
+    run_characterization_parallel,
+    run_ngram_parallel,
     run_pattern_analysis,
+    run_pattern_analysis_parallel,
+    run_periodicity_parallel,
 )
 from .report import format_pct, render_bar_chart, render_heatmap, render_table
 from .stats import ecdf, histogram, relative_error, within
@@ -31,7 +35,11 @@ __all__ = [
     "CharacterizationReport",
     "PatternReport",
     "run_characterization",
+    "run_characterization_parallel",
+    "run_ngram_parallel",
     "run_pattern_analysis",
+    "run_pattern_analysis_parallel",
+    "run_periodicity_parallel",
     "render_table",
     "render_bar_chart",
     "render_heatmap",

@@ -12,11 +12,24 @@ into shards, each shard folds into a mergeable
 :class:`~repro.engine.sketches.CharacterizationState`, and the merged
 state finalizes into a report whose counter metrics are identical to
 the serial ones.
+
+:func:`run_periodicity_parallel` and :func:`run_ngram_parallel`
+extend the same contract to the paper's two most expensive analyses.
+Both run in engine stages: a record map stage folds shards into
+mergeable state (flow timestamp-unions for §5.1, per-client token
+buffers for §5.2), the merged state finalizes, and the heavy
+computation — period detection over object flows, ngram training and
+top-K evaluation over client sequences — fans back out as item-shard
+map stages over the merged state.  Results are identical to
+:func:`run_pattern_analysis`'s serial path for any worker count,
+backend, or shard split.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.cacheability import (
@@ -42,9 +55,14 @@ from .report import format_pct, render_bar_chart, render_heatmap, render_table
 __all__ = [
     "CharacterizationReport",
     "PatternReport",
+    "render_periodicity",
+    "render_ngram",
     "run_characterization",
     "run_characterization_parallel",
     "run_pattern_analysis",
+    "run_pattern_analysis_parallel",
+    "run_periodicity_parallel",
+    "run_ngram_parallel",
 ]
 
 _HEATMAP_COLUMNS = ("never", "low", "mid", "high", "always")
@@ -161,6 +179,58 @@ class CharacterizationReport:
         return "\n\n".join(parts)
 
 
+def render_periodicity(periodicity: PeriodicityReport) -> str:
+    """Human-readable §5.1 summary + Figure 5 histogram."""
+    parts: List[str] = []
+    parts.append(
+        render_table(
+            ["metric", "value"],
+            [
+                ["periodic JSON requests", format_pct(periodicity.periodic_request_fraction)],
+                ["periodic traffic upload share", format_pct(periodicity.periodic_upload_fraction)],
+                ["periodic traffic uncacheable", format_pct(periodicity.periodic_uncacheable_fraction)],
+                ["objects with periodic majority", format_pct(periodicity.majority_periodic_fraction())],
+            ],
+            title="§5.1 — periodicity",
+        )
+    )
+    histogram = periodicity.period_histogram(10.0)
+    if histogram:
+        parts.append(
+            render_bar_chart(
+                [(f"{int(start)}s", count) for start, count in histogram],
+                title="Figure 5 — object periods (10s bins)",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def render_ngram(ngram: Mapping[Tuple[int, int, bool], AccuracyResult]) -> str:
+    """Human-readable Table 3 (empty string when no cells)."""
+    if not ngram:
+        return ""
+    ks = sorted({k for _, k, _ in ngram})
+    ns = sorted({n for n, _, _ in ngram})
+    rows = []
+    for n in ns:
+        for k in ks:
+            clustered = ngram.get((n, k, True))
+            actual = ngram.get((n, k, False))
+            rows.append(
+                [
+                    n,
+                    k,
+                    f"{clustered.accuracy:.2f}" if clustered else "-",
+                    f"{actual.accuracy:.2f}" if actual else "-",
+                ]
+            )
+    return render_table(
+        ["N", "K", "clustered", "actual"],
+        rows,
+        title="Table 3 — ngram top-K accuracy",
+    )
+
+
 @dataclass
 class PatternReport:
     """Bundle of the §5 artifacts for one dataset."""
@@ -169,50 +239,10 @@ class PatternReport:
     ngram: Dict[Tuple[int, int, bool], AccuracyResult]
 
     def render(self) -> str:
-        parts: List[str] = []
-        parts.append(
-            render_table(
-                ["metric", "value"],
-                [
-                    ["periodic JSON requests", format_pct(self.periodicity.periodic_request_fraction)],
-                    ["periodic traffic upload share", format_pct(self.periodicity.periodic_upload_fraction)],
-                    ["periodic traffic uncacheable", format_pct(self.periodicity.periodic_uncacheable_fraction)],
-                    ["objects with periodic majority", format_pct(self.periodicity.majority_periodic_fraction())],
-                ],
-                title="§5.1 — periodicity",
-            )
-        )
-        histogram = self.periodicity.period_histogram(10.0)
-        if histogram:
-            parts.append(
-                render_bar_chart(
-                    [(f"{int(start)}s", count) for start, count in histogram],
-                    title="Figure 5 — object periods (10s bins)",
-                )
-            )
-        if self.ngram:
-            ks = sorted({k for _, k, _ in self.ngram})
-            ns = sorted({n for n, _, _ in self.ngram})
-            rows = []
-            for n in ns:
-                for k in ks:
-                    clustered = self.ngram.get((n, k, True))
-                    actual = self.ngram.get((n, k, False))
-                    rows.append(
-                        [
-                            n,
-                            k,
-                            f"{clustered.accuracy:.2f}" if clustered else "-",
-                            f"{actual.accuracy:.2f}" if actual else "-",
-                        ]
-                    )
-            parts.append(
-                render_table(
-                    ["N", "K", "clustered", "actual"],
-                    rows,
-                    title="Table 3 — ngram top-K accuracy",
-                )
-            )
+        parts = [render_periodicity(self.periodicity)]
+        ngram_text = render_ngram(self.ngram)
+        if ngram_text:
+            parts.append(ngram_text)
         return "\n\n".join(parts)
 
 
@@ -245,10 +275,108 @@ def _characterize_shard(shard):
     """Engine map function: fold one shard into a partial §4 state.
 
     Top-level (not a closure) so the process backend can pickle it.
+    All engine map functions in this module follow that rule;
+    per-call parameters bind via :func:`functools.partial`, which
+    pickles as long as its arguments do.
     """
     from ..engine.state import CharacterizationState
 
     return CharacterizationState().update(shard.iter_logs())
+
+
+def _plan_record_shards(logs, logs_dir, workers, num_shards):
+    """Shared record-stage planning for every parallel pipeline.
+
+    Exactly one of ``logs`` / ``logs_dir`` must be given: an
+    in-memory iterable shards by stable client hash (a client's
+    records never straddle shards), a partitioned directory shards
+    per edge × hour file (so the dataset never materializes).
+    """
+    from ..engine.shard import plan_directory_shards, plan_memory_shards
+
+    if (logs is None) == (logs_dir is None):
+        raise ValueError("provide exactly one of logs= or logs_dir=")
+    if num_shards is None:
+        num_shards = max(1, workers) * 4
+    if logs_dir is not None:
+        return plan_directory_shards(logs_dir), num_shards
+    return plan_memory_shards(list(logs), num_shards), num_shards
+
+
+def _stage_checkpoint(checkpoint_dir, stage: str):
+    """Per-stage checkpoint store, or None.
+
+    Stages get their own subdirectories because shard ids are the
+    only checkpoint key: a §4 ``mem-0001…`` partial must never be
+    mistaken for a §5.1 flow partial when pipelines share one
+    checkpoint directory.
+    """
+    from ..engine.checkpoint import CheckpointStore
+
+    if checkpoint_dir is None:
+        return None
+    return CheckpointStore(Path(checkpoint_dir) / stage)
+
+
+def _flow_collect_shard(shard, flow_filter=None):
+    """Engine map function: fold one shard into a §5.1 flow state."""
+    from ..engine.flowstate import FlowCollectionState
+
+    return FlowCollectionState(flow_filter).update(shard.iter_logs())
+
+
+def _detect_periods_shard(shard, detector_config=None, match_tolerance=0.10):
+    """Engine map function: detect periods for one object-flow shard."""
+    from ..engine.flowstate import PeriodicityDetectionState
+    from ..periodicity.detector import PeriodDetector
+    from ..periodicity.results import analyze_object_flow
+
+    detector = PeriodDetector(detector_config) if detector_config else PeriodDetector()
+    return PeriodicityDetectionState(
+        {
+            object_id: analyze_object_flow(
+                flow, detector=detector, match_tolerance=match_tolerance
+            )
+            for object_id, flow in shard.items
+        }
+    )
+
+
+def _ngram_sequences_shard(shard):
+    """Engine map function: buffer one shard's client token sequences."""
+    from ..engine.ngramstate import NgramSequenceState
+
+    return NgramSequenceState().update(shard.iter_logs())
+
+
+def _ngram_client_id(item):
+    """Sharding key for (client_id, sequence) items; top-level to pickle."""
+    return item[0]
+
+
+def _ngram_train_shard(shard, order=1):
+    """Engine map function: train a partial model on one client shard.
+
+    Items are ``(client_id, sequence)`` pairs sharded by client hash.
+    """
+    from ..ngram.model import BackoffNgramModel
+
+    return BackoffNgramModel(order=order).fit(
+        sequence for _, sequence in shard.items
+    )
+
+
+def _ngram_eval_shard(shard, model=None, ns=(1,), ks=(1, 5, 10)):
+    """Engine map function: score one test-client shard against a model."""
+    from ..engine.ngramstate import NgramEvalState
+    from ..ngram.evaluate import evaluate_topk
+
+    flows = [sequence for _, sequence in shard.items]
+    state = NgramEvalState()
+    for n in ns:
+        for result in evaluate_topk(model, flows, n, ks):
+            state.record(n, result.k, result.correct, result.total)
+    return state
 
 
 def run_characterization_parallel(
@@ -281,24 +409,15 @@ def run_characterization_parallel(
     called with ``(ShardResult, done, total)`` per finished shard.
     With ``with_stats=True`` returns ``(report, RunReport)``.
     """
-    from ..engine.checkpoint import CheckpointStore
     from ..engine.executor import ShardExecutor
-    from ..engine.shard import plan_directory_shards, plan_memory_shards
     from ..engine.state import CharacterizationState
 
-    if (logs is None) == (logs_dir is None):
-        raise ValueError("provide exactly one of logs= or logs_dir=")
-    if logs_dir is not None:
-        shards = plan_directory_shards(logs_dir)
-    else:
-        materialized = list(logs)
-        if num_shards is None:
-            num_shards = max(1, workers) * 4
-        shards = plan_memory_shards(materialized, num_shards)
-
-    checkpoint = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    shards, _ = _plan_record_shards(logs, logs_dir, workers, num_shards)
     executor = ShardExecutor(
-        workers=workers, backend=backend, checkpoint=checkpoint, progress=progress
+        workers=workers,
+        backend=backend,
+        checkpoint=_stage_checkpoint(checkpoint_dir, "characterization"),
+        progress=progress,
     )
     state, run_report = executor.run(shards, _characterize_shard)
     if state is None:
@@ -307,6 +426,205 @@ def run_characterization_parallel(
     if with_stats:
         return report, run_report
     return report
+
+
+def run_periodicity_parallel(
+    logs: Optional[Iterable[RequestLog]] = None,
+    *,
+    logs_dir: Optional[str] = None,
+    flow_filter: Optional[FlowFilter] = None,
+    detector_config: Optional[DetectorConfig] = None,
+    match_tolerance: float = 0.10,
+    workers: int = 1,
+    backend: str = "auto",
+    num_shards: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    progress=None,
+    with_stats: bool = False,
+):
+    """§5.1 periodicity analysis through the sharded engine.
+
+    Two engine stages:
+
+    1. **Flow collection** — record shards fold into mergeable
+       :class:`~repro.engine.flowstate.FlowCollectionState` (raw
+       per-(object, client) timestamp lists), merged by timestamp
+       union.  Correct under any shard split because the paper's
+       significance filters apply only after the merge.
+    2. **Detection** — the merged, filtered object flows shard by
+       ``stable_hash64(object_id)`` and each shard runs the same
+       per-object detection as the serial pass
+       (:func:`~repro.periodicity.results.analyze_object_flow`).
+
+    The returned report's flows, detected periods, consensus
+    verdicts, and every aggregate are identical to
+    :func:`~repro.periodicity.results.analyze_logs` over the same
+    records, for any ``workers``/``backend``/``num_shards``.
+    With ``with_stats=True`` returns ``(report, [RunReport, RunReport])``
+    (one per stage).
+    """
+    from ..engine.executor import ShardExecutor
+    from ..engine.flowstate import FlowCollectionState
+    from ..engine.shard import plan_item_shards
+
+    shards, num_shards = _plan_record_shards(logs, logs_dir, workers, num_shards)
+    collect = ShardExecutor(
+        workers=workers,
+        backend=backend,
+        checkpoint=_stage_checkpoint(checkpoint_dir, "periodicity-flows"),
+        progress=progress,
+    )
+    flow_state, collect_report = collect.run(
+        shards, partial(_flow_collect_shard, flow_filter=flow_filter)
+    )
+    if flow_state is None:
+        flow_state = FlowCollectionState(flow_filter)
+    flows = flow_state.finalize()
+
+    detect_shards = plan_item_shards(
+        sorted(flows.items()),
+        num_shards,
+        key=lambda item: item[0],
+        prefix="periodicity-detect",
+    )
+    detect = ShardExecutor(
+        workers=workers,
+        backend=backend,
+        checkpoint=_stage_checkpoint(checkpoint_dir, "periodicity-detect"),
+        progress=progress,
+    )
+    detect_state, detect_report = detect.run(
+        detect_shards,
+        partial(
+            _detect_periods_shard,
+            detector_config=detector_config,
+            match_tolerance=match_tolerance,
+        ),
+    )
+    objects = detect_state.objects if detect_state is not None else {}
+    report = PeriodicityReport(
+        objects={object_id: objects[object_id] for object_id in sorted(objects)},
+        total_json_requests=flow_state.total_json_requests,
+    )
+    if with_stats:
+        return report, [collect_report, detect_report]
+    return report
+
+
+def run_ngram_parallel(
+    logs: Optional[Iterable[RequestLog]] = None,
+    *,
+    logs_dir: Optional[str] = None,
+    ns: Sequence[int] = (1,),
+    ks: Sequence[int] = (1, 5, 10),
+    test_fraction: float = 0.25,
+    seed: int = 0,
+    model_order: Optional[int] = None,
+    workers: int = 1,
+    backend: str = "auto",
+    num_shards: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    progress=None,
+    with_stats: bool = False,
+):
+    """The Table 3 sweep through the sharded engine.
+
+    Three engine stages per URL variant (raw, clustered):
+
+    1. **Sequences** — record shards fold into mergeable
+       :class:`~repro.engine.ngramstate.NgramSequenceState`
+       per-client token buffers (both variants in one pass over the
+       records); buffers merge by concatenation and sort once.
+    2. **Training** — the training clients' sequences (hash-split
+       exactly like :func:`~repro.ngram.evaluate.split_clients`)
+       shard by client id; each shard trains a shard-local
+       :class:`~repro.ngram.model.BackoffNgramModel` and the models
+       merge count tables and vocabularies losslessly.
+    3. **Evaluation** — test sequences shard by client id; each
+       shard scores top-K hits against the merged model and the hit
+       counters sum.
+
+    Accuracies are identical to
+    :func:`~repro.ngram.evaluate.run_table3` for any
+    ``workers``/``backend``/``num_shards``: training counts and
+    evaluation tallies are order-independent sums, and the model
+    ranks equal-count successors by token, never by insertion order.
+    With ``with_stats=True`` returns ``(results, [RunReport, …])``.
+    """
+    from ..engine.executor import ShardExecutor
+    from ..engine.ngramstate import NgramSequenceState
+    from ..engine.shard import plan_item_shards
+    from ..ngram.evaluate import split_clients
+    from ..ngram.model import BackoffNgramModel
+
+    shards, num_shards = _plan_record_shards(logs, logs_dir, workers, num_shards)
+    sequence_stage = ShardExecutor(
+        workers=workers,
+        backend=backend,
+        checkpoint=_stage_checkpoint(checkpoint_dir, "ngram-sequences"),
+        progress=progress,
+    )
+    sequence_state, sequence_report = sequence_stage.run(
+        shards, _ngram_sequences_shard
+    )
+    if sequence_state is None:
+        sequence_state = NgramSequenceState()
+
+    order = model_order if model_order is not None else max(ns)
+    results: Dict[Tuple[int, int, bool], AccuracyResult] = {}
+    stage_reports = [sequence_report]
+    for clustered in (False, True):
+        variant = "clustered" if clustered else "raw"
+        sequences = sequence_state.sequences(clustered)
+        train_ids, test_ids = split_clients(
+            sequences, test_fraction=test_fraction, seed=seed
+        )
+
+        train_shards = plan_item_shards(
+            [(client_id, sequences[client_id]) for client_id in sorted(train_ids)],
+            num_shards,
+            key=_ngram_client_id,
+            prefix=f"ngram-train-{variant}",
+        )
+        train = ShardExecutor(
+            workers=workers,
+            backend=backend,
+            checkpoint=_stage_checkpoint(checkpoint_dir, f"ngram-train-{variant}"),
+            progress=progress,
+        )
+        model, train_report = train.run(
+            train_shards, partial(_ngram_train_shard, order=order)
+        )
+        if model is None:
+            model = BackoffNgramModel(order=order)
+
+        eval_shards = plan_item_shards(
+            [(client_id, sequences[client_id]) for client_id in sorted(test_ids)],
+            num_shards,
+            key=_ngram_client_id,
+            prefix=f"ngram-eval-{variant}",
+        )
+        evaluate = ShardExecutor(
+            workers=workers,
+            backend=backend,
+            checkpoint=_stage_checkpoint(checkpoint_dir, f"ngram-eval-{variant}"),
+            progress=progress,
+        )
+        eval_state, eval_report = evaluate.run(
+            eval_shards, partial(_ngram_eval_shard, model=model, ns=ns, ks=ks)
+        )
+        stage_reports.extend([train_report, eval_report])
+        for n in ns:
+            for k in sorted(ks):
+                cell = (n, k)
+                correct = eval_state.correct.get(cell, 0) if eval_state else 0
+                total = eval_state.total.get(cell, 0) if eval_state else 0
+                results[(n, k, clustered)] = AccuracyResult(
+                    n=n, k=k, clustered=clustered, correct=correct, total=total
+                )
+    if with_stats:
+        return results, stage_reports
+    return results
 
 
 def run_pattern_analysis(
@@ -322,4 +640,57 @@ def run_pattern_analysis(
         materialized, flow_filter=flow_filter, detector_config=detector_config
     )
     ngram = run_table3(materialized, ns=ngram_ns, ks=ngram_ks)
+    return PatternReport(periodicity=periodicity, ngram=ngram)
+
+
+def run_pattern_analysis_parallel(
+    logs: Optional[Iterable[RequestLog]] = None,
+    *,
+    logs_dir: Optional[str] = None,
+    flow_filter: Optional[FlowFilter] = None,
+    detector_config: Optional[DetectorConfig] = None,
+    ngram_ns: Sequence[int] = (1,),
+    ngram_ks: Sequence[int] = (1, 5, 10),
+    workers: int = 1,
+    backend: str = "auto",
+    num_shards: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    progress=None,
+) -> PatternReport:
+    """Every §5 analysis through the sharded engine.
+
+    Composes :func:`run_periodicity_parallel` and
+    :func:`run_ngram_parallel` into the same :class:`PatternReport`
+    that :func:`run_pattern_analysis` builds serially — and with
+    identical contents, for any ``workers``/``backend``/shard split.
+    An in-memory ``logs`` iterable is materialized once and shared by
+    both pipelines; with ``logs_dir`` each pipeline streams the
+    partition files itself.
+    """
+    if (logs is None) == (logs_dir is None):
+        raise ValueError("provide exactly one of logs= or logs_dir=")
+    if logs is not None:
+        logs = list(logs)
+    periodicity = run_periodicity_parallel(
+        logs,
+        logs_dir=logs_dir,
+        flow_filter=flow_filter,
+        detector_config=detector_config,
+        workers=workers,
+        backend=backend,
+        num_shards=num_shards,
+        checkpoint_dir=checkpoint_dir,
+        progress=progress,
+    )
+    ngram = run_ngram_parallel(
+        logs,
+        logs_dir=logs_dir,
+        ns=ngram_ns,
+        ks=ngram_ks,
+        workers=workers,
+        backend=backend,
+        num_shards=num_shards,
+        checkpoint_dir=checkpoint_dir,
+        progress=progress,
+    )
     return PatternReport(periodicity=periodicity, ngram=ngram)

@@ -19,11 +19,15 @@ from .executor import (
     ShardResult,
     run_shards,
 )
+from .flowstate import FlowCollectionState, PeriodicityDetectionState
+from .ngramstate import NgramEvalState, NgramSequenceState
 from .shard import (
     FileShard,
+    ItemShard,
     MemoryShard,
     Shard,
     plan_directory_shards,
+    plan_item_shards,
     plan_memory_shards,
 )
 from .sketches import (
@@ -44,8 +48,13 @@ __all__ = [
     "CountMinSketch",
     "EngineError",
     "FileShard",
+    "FlowCollectionState",
     "HyperLogLog",
+    "ItemShard",
     "MemoryShard",
+    "NgramEvalState",
+    "NgramSequenceState",
+    "PeriodicityDetectionState",
     "ReservoirSample",
     "RunReport",
     "Shard",
@@ -54,6 +63,7 @@ __all__ = [
     "TopK",
     "UniqueCounter",
     "plan_directory_shards",
+    "plan_item_shards",
     "plan_memory_shards",
     "run_shards",
     "stable_hash64",

@@ -28,6 +28,7 @@ shard for live reporting.
 
 from __future__ import annotations
 
+import pickle
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
@@ -151,6 +152,8 @@ class ShardExecutor:
         ids = [shard.shard_id for shard in shards]
         if len(set(ids)) != len(ids):
             raise ValueError("shard plan contains duplicate shard ids")
+        if self.backend == "process":
+            self._ensure_picklable_map_fn(map_fn)
 
         states: Dict[int, Any] = {}
         results: Dict[int, ShardResult] = {}
@@ -227,6 +230,27 @@ class ShardExecutor:
     def _notify(self, result: ShardResult, done: int, total: int) -> None:
         if self.progress is not None:
             self.progress(result, done, total)
+
+    @staticmethod
+    def _ensure_picklable_map_fn(map_fn: MapFn) -> None:
+        """Fail fast with a clear message instead of N pickle tracebacks.
+
+        The process backend pickles the map function once per shard;
+        a lambda, a closure, or a ``functools.partial`` carrying an
+        unpicklable callback would otherwise fail every shard with
+        the same cryptic ``PicklingError``.  (The ``progress``
+        callback itself never crosses the process boundary — it runs
+        in the parent — so it may be a lambda.)
+        """
+        try:
+            pickle.dumps(map_fn)
+        except Exception as exc:
+            raise ValueError(
+                f"process backend requires a picklable map function, got "
+                f"{map_fn!r}: {exc}. Define the map function (and any "
+                f"callback bound into it, e.g. via functools.partial) at "
+                f"module top level, or use the thread/serial backend."
+            ) from exc
 
     @staticmethod
     def _map_serial(map_fn: MapFn, shard: Shard):

@@ -1,0 +1,142 @@
+"""Mergeable §5.2 ngram states for the sharded engine.
+
+Three mergeable units cover the Table 3 pipeline:
+
+* :class:`NgramSequenceState` — the first map stage.  Each shard
+  buffers per-client ``(timestamp, token)`` entries for both the raw
+  and the clustered URL variants in one pass; states merge by list
+  concatenation and :meth:`sequences` sorts once at the end, so the
+  finalized per-client sequences equal
+  :func:`repro.ngram.evaluate.build_client_sequences` over the
+  unsplit stream under *any* shard split.
+* :class:`repro.ngram.model.BackoffNgramModel` — the train stage's
+  state.  Its count tables and vocabulary merge losslessly
+  (:meth:`~repro.ngram.model.BackoffNgramModel.merge`), so training
+  shard-local models over disjoint client sets and merging them
+  equals training one model over all sequences.
+* :class:`NgramEvalState` — the evaluation stage.  Top-K hit and
+  total counters per ``(n, k)`` cell sum exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..logs.record import RequestLog
+from ..ngram.clustering import UrlClusterer
+
+__all__ = ["NgramSequenceState", "NgramEvalState"]
+
+_VARIANTS = (False, True)  # raw, clustered
+
+
+class NgramSequenceState:
+    """Mergeable per-client (timestamp, token) buffers, both variants."""
+
+    def __init__(self, json_only: bool = True, include_domain: bool = True) -> None:
+        self.json_only = json_only
+        self.include_domain = include_domain
+        self.record_count = 0
+        #: clustered? → client id → [(timestamp, token), …] (unsorted).
+        self._entries: Dict[bool, Dict[str, List[Tuple[float, str]]]] = {
+            variant: {} for variant in _VARIANTS
+        }
+        self._clusterer: Optional[UrlClusterer] = None
+
+    # The clusterer memo is a per-shard cache; rebuild after pickling.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_clusterer", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._clusterer = None
+
+    def ingest(self, record: RequestLog) -> None:
+        """Fold one record; mirrors ``build_client_sequences`` exactly."""
+        self.record_count += 1
+        if self.json_only and not record.is_json:
+            return
+        if self._clusterer is None:
+            self._clusterer = UrlClusterer()
+        clustered_url = self._clusterer(record.url)
+        for variant, url in ((False, record.url), (True, clustered_url)):
+            token = f"{record.domain}{url}" if self.include_domain else url
+            self._entries[variant].setdefault(record.client_id, []).append(
+                (record.timestamp, token)
+            )
+
+    def update(self, records: Iterable[RequestLog]) -> "NgramSequenceState":
+        for record in records:
+            self.ingest(record)
+        return self
+
+    def merge(self, other: "NgramSequenceState") -> "NgramSequenceState":
+        if (other.json_only, other.include_domain) != (
+            self.json_only,
+            self.include_domain,
+        ):
+            raise ValueError("cannot merge ngram states with different settings")
+        self.record_count += other.record_count
+        for variant in _VARIANTS:
+            mine = self._entries[variant]
+            for client_id, entries in other._entries[variant].items():
+                buffered = mine.get(client_id)
+                if buffered is None:
+                    mine[client_id] = list(entries)
+                else:
+                    buffered.extend(entries)
+        return self
+
+    def sequences(self, clustered: bool = False) -> Dict[str, List[str]]:
+        """Finalized per-client token sequences for one variant.
+
+        Clients come out in sorted-id order (the canonical parallel
+        ordering); each sequence is time-ordered exactly as
+        ``build_client_sequences`` orders it (sorted by
+        ``(timestamp, token)``).
+        """
+        buffered = self._entries[clustered]
+        return {
+            client_id: [token for _, token in sorted(buffered[client_id])]
+            for client_id in sorted(buffered)
+        }
+
+    def canonical(self):
+        """Order-independent value for merge-property comparisons."""
+        return (
+            self.json_only,
+            self.include_domain,
+            self.record_count,
+            {
+                variant: {
+                    client: tuple(sorted(entries))
+                    for client, entries in per_client.items()
+                }
+                for variant, per_client in self._entries.items()
+            },
+        )
+
+
+class NgramEvalState:
+    """Mergeable top-K accuracy counters, one per (n, k) cell."""
+
+    def __init__(self) -> None:
+        self.correct: Dict[Tuple[int, int], int] = {}
+        self.total: Dict[Tuple[int, int], int] = {}
+
+    def record(self, n: int, k: int, correct: int, total: int) -> None:
+        key = (n, k)
+        self.correct[key] = self.correct.get(key, 0) + correct
+        self.total[key] = self.total.get(key, 0) + total
+
+    def merge(self, other: "NgramEvalState") -> "NgramEvalState":
+        for key, count in other.correct.items():
+            self.correct[key] = self.correct.get(key, 0) + count
+        for key, count in other.total.items():
+            self.total[key] = self.total.get(key, 0) + count
+        return self
+
+    def canonical(self):
+        return (dict(self.correct), dict(self.total))

@@ -14,6 +14,10 @@ come from.
   stable hash of the client id, so all of one client's traffic lands
   in one shard (per-client analyses stay shard-local) and the plan
   is identical across runs and processes.
+* :func:`plan_item_shards` splits an arbitrary item list (object
+  flows, client sequences, …) by a stable hash of a caller-supplied
+  key, for second map stages that fan out over merged state rather
+  than raw records.
 
 Shard identity is deliberately content-addressed-ish: directory
 shards are named by their relative file paths, memory shards by
@@ -26,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..logs.io import PathLike, read_logs
 from ..logs.partition import iter_partition_files
@@ -37,8 +41,10 @@ __all__ = [
     "Shard",
     "FileShard",
     "MemoryShard",
+    "ItemShard",
     "plan_directory_shards",
     "plan_memory_shards",
+    "plan_item_shards",
 ]
 
 
@@ -72,6 +78,22 @@ class MemoryShard(Shard):
 
     def iter_logs(self) -> Iterator[RequestLog]:
         return iter(self.records)
+
+
+@dataclass(frozen=True)
+class ItemShard(Shard):
+    """A shard of arbitrary picklable items (no log records).
+
+    Used by second map stages that fan out over merged state — e.g.
+    period detection over object flows, or ngram training/evaluation
+    over client sequences — where the unit of work is not a
+    :class:`~repro.logs.record.RequestLog`.
+    """
+
+    items: Tuple[Any, ...] = ()
+
+    def iter_logs(self) -> Iterator[RequestLog]:
+        raise TypeError("ItemShard carries items, not log records")
 
 
 def plan_directory_shards(
@@ -136,6 +158,35 @@ def plan_memory_shards(
         MemoryShard(
             shard_id=f"mem-{index:04d}-of-{num_shards:04d}",
             records=tuple(bucket),
+        )
+        for index, bucket in enumerate(buckets)
+    ]
+
+
+def plan_item_shards(
+    items: Sequence[Any],
+    num_shards: int,
+    key: Callable[[Any], str],
+    prefix: str = "items",
+) -> List[ItemShard]:
+    """Split arbitrary items into ``num_shards`` by a stable key hash.
+
+    Same contract as :func:`plan_memory_shards`, generalized: items
+    keep their order within a shard, an item lands in shard
+    ``stable_hash64(key(item)) % num_shards`` in every process, and
+    empty shards are kept so the plan shape depends only on
+    ``num_shards``.  ``prefix`` namespaces the shard ids so two item
+    stages of one run never collide in a checkpoint store.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    buckets: List[List[Any]] = [[] for _ in range(num_shards)]
+    for item in items:
+        buckets[stable_hash64(key(item)) % num_shards].append(item)
+    return [
+        ItemShard(
+            shard_id=f"{prefix}-{index:04d}-of-{num_shards:04d}",
+            items=tuple(bucket),
         )
         for index, bucket in enumerate(buckets)
     ]

@@ -7,6 +7,13 @@ available history; when it was never seen (or to fill out a top-K
 list), back off to shorter histories with a fixed discount.  For a
 top-K ranking task the discount only orders candidates across backoff
 levels; it does not need to be a normalized probability.
+
+Two properties matter to the sharded engine: equal-count successors
+rank by token (never by counter insertion order), so predictions are
+a pure function of the count tables; and :meth:`BackoffNgramModel.merge`
+combines two models' count tables and vocabularies losslessly, so a
+model merged from shard-local models over disjoint sequence sets
+predicts identically to one trained on everything.
 """
 
 from __future__ import annotations
@@ -95,7 +102,12 @@ class BackoffNgramModel:
         self, history: Sequence[str], k: int = 1
     ) -> List[Tuple[str, float]]:
         """Top-K (successor, score) pairs; scores are backoff-weighted
-        relative frequencies (comparable within one query only)."""
+        relative frequencies (comparable within one query only).
+
+        Equal counts break ties by token, not by insertion order —
+        predictions depend only on the count tables, so a model merged
+        from shards ranks exactly like one trained serially.
+        """
         trimmed = tuple(history[-self.order :]) if history else ()
         results: List[Tuple[str, float]] = []
         seen: set = set()
@@ -105,7 +117,8 @@ class BackoffNgramModel:
             counter = self._transitions.get(key)
             if counter:
                 total = self._totals[key]
-                for token, count in counter.most_common():
+                ranked = sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+                for token, count in ranked:
                     if token in seen:
                         continue
                     seen.add(token)
@@ -114,6 +127,30 @@ class BackoffNgramModel:
                         return results
             discount *= self.backoff_discount
         return results
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "BackoffNgramModel") -> "BackoffNgramModel":
+        """Combine another model's count tables and vocabulary, exactly.
+
+        Both models must share ``order`` and ``backoff_discount``.
+        Counts add per (history, successor) cell and totals per
+        history, so ``merge(fit(A), fit(B)) == fit(A + B)`` for any
+        split of the training sequences.
+        """
+        if other.order != self.order:
+            raise ValueError(
+                f"cannot merge ngram models of order {self.order} != {other.order}"
+            )
+        if other.backoff_discount != self.backoff_discount:
+            raise ValueError("cannot merge ngram models with different discounts")
+        for history, counter in other._transitions.items():
+            self._transitions[history].update(counter)
+        for history, total in other._totals.items():
+            self._totals[history] += total
+        self.trained_sequences += other.trained_sequences
+        self.trained_tokens += other.trained_tokens
+        return self
 
     def probability(self, history: Sequence[str], successor: str) -> float:
         """Stupid-backoff score of one successor (not normalized)."""

@@ -25,6 +25,7 @@ from .flows import FlowFilter, ObjectFlow, extract_flows
 __all__ = [
     "ObjectPeriodicity",
     "PeriodicityReport",
+    "analyze_object_flow",
     "analyze_flows",
     "analyze_logs",
 ]
@@ -169,8 +170,21 @@ def _client_consensus(
     Per-client false positives are rare (the permutation threshold
     holds each to ~1%), so three independent clients agreeing on one
     period is strong evidence that it is the object's period.
+
+    Candidates are scanned in sorted period order, so equal-size
+    cluster ties resolve to the smallest period no matter how the
+    client map is ordered — the parallel pipeline rebuilds flows in
+    a different client order than the serial pass, and both must
+    elect the same consensus.
     """
-    detected = [period for period in client_periods.values() if period is not None]
+    detected = sorted(
+        (period for period in client_periods.values() if period is not None),
+        key=lambda period: (
+            period.period_s,
+            period.acf_value,
+            period.spectral_power,
+        ),
+    )
     best_cluster: List[DetectedPeriod] = []
     for candidate in detected:
         cluster = [
@@ -189,67 +203,87 @@ def _client_consensus(
     return representative
 
 
-def analyze_flows(
-    flows: Mapping[str, ObjectFlow],
-    total_json_requests: int,
+def analyze_object_flow(
+    flow: ObjectFlow,
     detector: Optional[PeriodDetector] = None,
     match_tolerance: float = 0.10,
-) -> PeriodicityReport:
-    """Run period detection over pre-extracted flows.
+) -> ObjectPeriodicity:
+    """Run period detection over one object flow.
 
     The object period comes from the paper's merged-flow detection,
     reconciled against the per-client detections: when more clients
     agree on a different period than match the merged-flow one (an
     interleaving artifact of few same-period clients at distinct
     phases), the client consensus wins.
+
+    Every value computed here is a pure function of the flow's
+    contents: clients are visited in sorted-id order and consensus
+    ties resolve canonically, so the sharded pipeline (which rebuilds
+    flows in a different client order than the serial pass) produces
+    an identical outcome.
     """
     detector = detector or PeriodDetector()
-    objects: Dict[str, ObjectPeriodicity] = {}
-    for object_id, flow in flows.items():
-        outcome = ObjectPeriodicity(
-            object_id=object_id,
-            object_period=detector.detect(flow.merged_timestamps()),
+    outcome = ObjectPeriodicity(
+        object_id=flow.object_id,
+        object_period=detector.detect(flow.merged_timestamps()),
+    )
+    outcome.total_request_count = flow.request_count
+    ordered_flows = sorted(flow.client_flows.items())
+    for client_id, client_flow in ordered_flows:
+        outcome.client_periods[client_id] = detector.detect(
+            client_flow.timestamps
         )
-        outcome.total_request_count = flow.request_count
-        for client_id, client_flow in flow.client_flows.items():
-            outcome.client_periods[client_id] = detector.detect(
-                client_flow.timestamps
-            )
 
-        consensus = _client_consensus(outcome.client_periods, match_tolerance)
-        if consensus is not None:
-            matches_object = (
-                sum(
-                    1
-                    for period in outcome.client_periods.values()
-                    if period is not None
-                    and outcome.object_period is not None
-                    and period.matches(outcome.object_period, match_tolerance)
-                )
-                if outcome.object_period is not None
-                else 0
-            )
-            matches_consensus = sum(
+    consensus = _client_consensus(outcome.client_periods, match_tolerance)
+    if consensus is not None:
+        matches_object = (
+            sum(
                 1
                 for period in outcome.client_periods.values()
-                if period is not None and period.matches(consensus, match_tolerance)
-            )
-            if outcome.object_period is None or matches_consensus > matches_object:
-                outcome.object_period = consensus
-                outcome.object_period_source = "client-consensus"
-
-        for client_id, client_flow in flow.client_flows.items():
-            detected = outcome.client_periods[client_id]
-            if (
-                detected is not None
+                if period is not None
                 and outcome.object_period is not None
-                and detected.matches(outcome.object_period, match_tolerance)
-            ):
-                outcome.periodic_clients.append(client_id)
-                outcome.periodic_request_count += client_flow.request_count
-                outcome.periodic_upload_count += client_flow.upload_count
-                outcome.periodic_uncacheable_count += client_flow.uncacheable_count
-        objects[object_id] = outcome
+                and period.matches(outcome.object_period, match_tolerance)
+            )
+            if outcome.object_period is not None
+            else 0
+        )
+        matches_consensus = sum(
+            1
+            for period in outcome.client_periods.values()
+            if period is not None and period.matches(consensus, match_tolerance)
+        )
+        if outcome.object_period is None or matches_consensus > matches_object:
+            outcome.object_period = consensus
+            outcome.object_period_source = "client-consensus"
+
+    for client_id, client_flow in ordered_flows:
+        detected = outcome.client_periods[client_id]
+        if (
+            detected is not None
+            and outcome.object_period is not None
+            and detected.matches(outcome.object_period, match_tolerance)
+        ):
+            outcome.periodic_clients.append(client_id)
+            outcome.periodic_request_count += client_flow.request_count
+            outcome.periodic_upload_count += client_flow.upload_count
+            outcome.periodic_uncacheable_count += client_flow.uncacheable_count
+    return outcome
+
+
+def analyze_flows(
+    flows: Mapping[str, ObjectFlow],
+    total_json_requests: int,
+    detector: Optional[PeriodDetector] = None,
+    match_tolerance: float = 0.10,
+) -> PeriodicityReport:
+    """Run period detection over pre-extracted flows."""
+    detector = detector or PeriodDetector()
+    objects: Dict[str, ObjectPeriodicity] = {
+        object_id: analyze_object_flow(
+            flow, detector=detector, match_tolerance=match_tolerance
+        )
+        for object_id, flow in flows.items()
+    }
     return PeriodicityReport(
         objects=objects, total_json_requests=total_json_requests
     )

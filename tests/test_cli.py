@@ -28,8 +28,8 @@ class TestParser:
             build_parser().parse_args(["characterize", "--dataset", "medium"])
 
     @pytest.mark.parametrize(
-        "command", ["characterize", "patterns", "windows", "paper", "replay",
-                    "engine-bench"]
+        "command", ["characterize", "patterns", "periodicity", "ngram",
+                    "windows", "paper", "replay", "engine-bench"]
     )
     def test_engine_args_on_analysis_commands(self, command):
         args = build_parser().parse_args(
@@ -37,6 +37,30 @@ class TestParser:
         )
         assert args.workers == 3
         assert args.logs_dir == "parts/"
+
+    @pytest.mark.parametrize(
+        "command", ["characterize", "patterns", "periodicity", "ngram"]
+    )
+    def test_checkpoint_dir_on_engine_commands(self, command):
+        args = build_parser().parse_args([command, "--checkpoint-dir", "ckpt/"])
+        assert args.checkpoint_dir == "ckpt/"
+
+    def test_periodicity_permutations_arg(self):
+        args = build_parser().parse_args(["periodicity", "--permutations", "25"])
+        assert args.permutations == 25
+
+    def test_ngram_order_arg(self):
+        args = build_parser().parse_args(["ngram", "--order", "2"])
+        assert args.order == 2
+
+    def test_engine_bench_pipeline_choices(self):
+        args = build_parser().parse_args(["engine-bench", "--pipeline", "all"])
+        assert args.pipeline == "all"
+        assert build_parser().parse_args(["engine-bench"]).pipeline == (
+            "characterization"
+        )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine-bench", "--pipeline", "nope"])
 
     def test_workers_default_serial(self):
         args = build_parser().parse_args(["characterize"])
@@ -159,5 +183,52 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "Engine benchmark" in out
-        assert "counter metrics identical to serial: True" in out
+        assert "characterization results identical to serial: True" in out
         assert "HLL estimate" in out
+
+    def test_periodicity_command_small(self, capsys):
+        assert main(
+            ["periodicity", "--dataset", "long", "--requests", "3000",
+             "--seed", "2", "--permutations", "10", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "§5.1 — periodicity" in out
+        assert "periodic JSON requests" in out
+
+    def test_periodicity_checkpoint_resume(self, tmp_path, capsys):
+        argv = ["periodicity", "--dataset", "long", "--requests", "2500",
+                "--seed", "2", "--permutations", "5",
+                "--checkpoint-dir", str(tmp_path / "ckpt")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert (tmp_path / "ckpt" / "periodicity-flows").is_dir()
+        assert (tmp_path / "ckpt" / "periodicity-detect").is_dir()
+
+    def test_ngram_command_small(self, capsys):
+        assert main(
+            ["ngram", "--dataset", "long", "--requests", "3000",
+             "--seed", "2", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "clustered" in out
+
+    def test_patterns_with_workers_matches_serial(self, capsys):
+        argv_tail = ["--dataset", "long", "--requests", "3000",
+                     "--seed", "2", "--permutations", "10"]
+        assert main(["patterns"] + argv_tail) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["patterns", "--workers", "2"] + argv_tail) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_engine_bench_ngram_pipeline(self, capsys):
+        assert main(
+            ["engine-bench", "--requests", "1500", "--seed", "3",
+             "--workers", "2", "--backend", "thread",
+             "--pipeline", "ngram"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ngram results identical to serial: True" in out
+        assert "characterization" not in out

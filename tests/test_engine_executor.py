@@ -129,6 +129,66 @@ class TestErrorCapture:
         assert "boom in shard 2" in report.failed[0].error
 
 
+class TestUnpicklableMapFn:
+    """The process backend must reject unpicklable map functions up
+    front with one actionable error, not fail every shard with a
+    cryptic ``PicklingError`` traceback."""
+
+    def test_lambda_map_fn_fails_fast(self, shards):
+        with pytest.raises(ValueError) as excinfo:
+            run_shards(shards, lambda shard: None, workers=2, backend="process")
+        message = str(excinfo.value)
+        assert "picklable map function" in message
+        assert "module top level" in message
+        assert "thread/serial" in message
+
+    def test_partial_with_unpicklable_binding_fails_fast(self, shards):
+        from functools import partial
+
+        def map_with_callback(shard, callback=None):
+            return sum_shard(shard)
+
+        bound = partial(map_with_callback, callback=lambda result: None)
+        with pytest.raises(ValueError, match="picklable map function"):
+            run_shards(shards, bound, workers=2, backend="process")
+
+    def test_failure_precedes_any_shard_work(self, shards):
+        """No ShardResults exist — the preflight rejects the whole run."""
+        seen = []
+        with pytest.raises(ValueError):
+            run_shards(
+                shards,
+                lambda shard: None,
+                workers=2,
+                backend="process",
+                progress=lambda result, done, total: seen.append(result),
+            )
+        assert seen == []
+
+    def test_lambda_map_fn_fine_on_thread_backend(self, shards):
+        state, report = run_shards(
+            shards,
+            lambda shard: sum_shard(shard),
+            workers=2,
+            backend="thread",
+        )
+        assert sorted(state.values) == list(range(200))
+        assert not report.failed
+
+    def test_lambda_progress_fine_on_process_backend(self, shards):
+        """The progress callback runs in the parent and never pickles."""
+        seen = []
+        state, report = run_shards(
+            shards,
+            sum_shard,
+            workers=2,
+            backend="process",
+            progress=lambda result, done, total: seen.append(done),
+        )
+        assert sorted(state.values) == list(range(200))
+        assert sorted(seen) == [1, 2, 3, 4]
+
+
 class TestProgress:
     def test_progress_called_per_shard(self, shards):
         seen = []

@@ -1,0 +1,445 @@
+"""Merge-algebra properties of every mergeable engine state.
+
+The executor folds shard states in plan order, but the *plan* itself
+varies: worker counts change shard counts, directory layouts change
+record groupings, and checkpoint resume replays arbitrary prefixes.
+So each mergeable state must behave like a commutative monoid over
+its ingest stream: merging in any order, any grouping, with empty
+states interleaved, must yield the same value — and the value must
+survive pickling, because the process backend ships states between
+interpreters.
+
+These are property tests in the stdlib: a seeded ``random.Random``
+drives many trials of randomized stream splits, and states compare
+via their canonical (order-independent) projections.
+
+Exactness boundaries are part of the contract and are pinned here
+too: ``TopK`` is only split-invariant while its key set fits in
+capacity, and ``ReservoirSample`` only while the stream fits in the
+reservoir — the trials stay inside those regimes, and the states
+whose pipelines *require* exactness (flows, ngram, characterization
+counters) are exercised without any such caveat.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.engine.flowstate import FlowCollectionState, PeriodicityDetectionState
+from repro.engine.ngramstate import NgramEvalState, NgramSequenceState
+from repro.engine.sketches import (
+    CountMinSketch,
+    HyperLogLog,
+    ReservoirSample,
+    TopK,
+    UniqueCounter,
+)
+from repro.engine.state import CharacterizationState
+from repro.periodicity.flows import FlowFilter
+from repro.periodicity.results import ObjectPeriodicity
+from repro.ngram.model import BackoffNgramModel
+from repro.synth.workload import WorkloadBuilder, short_term_config
+
+TRIALS = 20
+
+
+@pytest.fixture(scope="module")
+def records():
+    return WorkloadBuilder(short_term_config(2_000, seed=7)).build().logs
+
+
+def random_split(items, rng, parts):
+    """Assign each item to one of ``parts`` buckets at random."""
+    buckets = [[] for _ in range(parts)]
+    for item in items:
+        buckets[rng.randrange(parts)].append(item)
+    return buckets
+
+
+def roundtrip(state):
+    return pickle.loads(pickle.dumps(state))
+
+
+class MergeAlgebra:
+    """Shared property checks; subclasses supply the state algebra.
+
+    Required hooks: ``make()`` builds an empty state, ``ingest(state,
+    item)`` folds one item, ``canonical(state)`` projects to an
+    order-independent comparable value, ``stream(rng)`` yields one
+    trial's items.
+    """
+
+    parts = 3
+
+    def make(self):
+        raise NotImplementedError
+
+    def ingest(self, state, item):
+        raise NotImplementedError
+
+    def canonical(self, state):
+        raise NotImplementedError
+
+    def stream(self, rng):
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------
+
+    def build(self, items):
+        state = self.make()
+        for item in items:
+            self.ingest(state, item)
+        return state
+
+    def reference(self, items):
+        return self.canonical(self.build(items))
+
+    # -- properties -------------------------------------------------------
+
+    def test_commutative(self):
+        rng = random.Random(101)
+        for _ in range(TRIALS):
+            items = self.stream(rng)
+            left, right = random_split(items, rng, 2)
+            ab = self.build(left).merge(self.build(right))
+            ba = self.build(right).merge(self.build(left))
+            assert self.canonical(ab) == self.canonical(ba)
+
+    def test_associative(self):
+        rng = random.Random(202)
+        for _ in range(TRIALS):
+            items = self.stream(rng)
+            a, b, c = random_split(items, rng, 3)
+            left = self.build(a).merge(self.build(b)).merge(self.build(c))
+            right = self.build(a).merge(self.build(b).merge(self.build(c)))
+            assert self.canonical(left) == self.canonical(right)
+
+    def test_identity(self):
+        rng = random.Random(303)
+        items = self.stream(rng)
+        expected = self.reference(items)
+        assert self.canonical(self.build(items).merge(self.make())) == expected
+        assert self.canonical(self.make().merge(self.build(items))) == expected
+
+    def test_split_invariant(self):
+        """Any shard split folds back to the unsplit stream's state."""
+        rng = random.Random(404)
+        for _ in range(TRIALS):
+            items = self.stream(rng)
+            expected = self.reference(items)
+            parts = random_split(items, rng, rng.randrange(2, 6))
+            merged = self.make()
+            for part in parts:
+                merged = merged.merge(self.build(part))
+            assert self.canonical(merged) == expected
+
+    def test_pickle_roundtrip(self):
+        """States survive the process boundary, before and after merge."""
+        rng = random.Random(505)
+        items = self.stream(rng)
+        state = self.build(items)
+        assert self.canonical(roundtrip(state)) == self.canonical(state)
+        left, right = random_split(items, rng, 2)
+        merged = roundtrip(self.build(left)).merge(roundtrip(self.build(right)))
+        assert self.canonical(merged) == self.reference(items)
+
+
+# -- sketches -----------------------------------------------------------------
+
+
+class TestHyperLogLogAlgebra(MergeAlgebra):
+    def make(self):
+        return HyperLogLog(precision=10)
+
+    def ingest(self, state, item):
+        state.add(item)
+
+    def canonical(self, state):
+        return bytes(state.registers)
+
+    def stream(self, rng):
+        return [f"client-{rng.randrange(500)}" for _ in range(rng.randrange(5, 120))]
+
+
+class TestUniqueCounterAlgebra(MergeAlgebra):
+    def make(self):
+        return UniqueCounter(exact_threshold=1_000)
+
+    def ingest(self, state, item):
+        state.add(item)
+
+    def canonical(self, state):
+        if state.is_exact:
+            return ("exact", frozenset(state.exact))
+        return ("sketch", bytes(state.sketch.registers))
+
+    def stream(self, rng):
+        return [f"client-{rng.randrange(300)}" for _ in range(rng.randrange(5, 120))]
+
+
+class TestSpilledUniqueCounterAlgebra(TestUniqueCounterAlgebra):
+    """The hybrid counter past its exact threshold (sketch mode)."""
+
+    def make(self):
+        return UniqueCounter(exact_threshold=8, precision=10)
+
+
+class TestCountMinAlgebra(MergeAlgebra):
+    def make(self):
+        return CountMinSketch(width=64, depth=3)
+
+    def ingest(self, state, item):
+        key, count = item
+        state.add(key, count)
+
+    def canonical(self, state):
+        return (tuple(tuple(row) for row in state.rows), state.total)
+
+    def stream(self, rng):
+        return [
+            (f"url-{rng.randrange(50)}", rng.randrange(1, 6))
+            for _ in range(rng.randrange(5, 120))
+        ]
+
+
+class TestTopKAlgebra(MergeAlgebra):
+    """Exact while the key universe fits in capacity (it does here)."""
+
+    def make(self):
+        return TopK(capacity=64)
+
+    def ingest(self, state, item):
+        key, count = item
+        state.add(key, count)
+
+    def canonical(self, state):
+        return (dict(state.counts), dict(state.errors), state.total)
+
+    def stream(self, rng):
+        return [
+            (f"url-{rng.randrange(40)}", rng.randrange(1, 6))
+            for _ in range(rng.randrange(5, 120))
+        ]
+
+
+class TestReservoirAlgebra(MergeAlgebra):
+    """Exact (pure concatenation) while the stream fits the reservoir."""
+
+    def make(self):
+        return ReservoirSample(capacity=256, seed=0)
+
+    def ingest(self, state, item):
+        state.add(item)
+
+    def canonical(self, state):
+        return (sorted(state.items), state.count)
+
+    def stream(self, rng):
+        return [float(rng.randrange(10_000)) for _ in range(rng.randrange(5, 60))]
+
+
+# -- pipeline states ----------------------------------------------------------
+
+
+class RecordAlgebra(MergeAlgebra):
+    """Record-ingesting states draw trial streams from one dataset."""
+
+    @pytest.fixture(autouse=True)
+    def _bind_records(self, records):
+        self.records = records
+
+    def stream(self, rng):
+        count = rng.randrange(50, 400)
+        start = rng.randrange(len(self.records) - count)
+        return self.records[start : start + count]
+
+
+class TestFlowCollectionAlgebra(RecordAlgebra):
+    def make(self):
+        return FlowCollectionState()
+
+    def ingest(self, state, record):
+        state.ingest(record)
+
+    def canonical(self, state):
+        return state.canonical()
+
+    def test_finalize_split_invariant(self, records):
+        """finalize() itself — filters applied post-merge — is exact."""
+        rng = random.Random(606)
+        whole = FlowCollectionState().update(records)
+        expected = {
+            object_id: sorted(flow.client_flows)
+            for object_id, flow in whole.finalize().items()
+        }
+        for _ in range(5):
+            merged = FlowCollectionState()
+            for part in random_split(records, rng, 4):
+                merged = merged.merge(FlowCollectionState().update(part))
+            actual = {
+                object_id: sorted(flow.client_flows)
+                for object_id, flow in merged.finalize().items()
+            }
+            assert actual == expected
+
+    def test_mismatched_filters_rejected(self):
+        strict = FlowCollectionState(FlowFilter(min_requests_per_client_flow=99))
+        with pytest.raises(ValueError, match="different filters"):
+            FlowCollectionState().merge(strict)
+
+
+class TestNgramSequenceAlgebra(RecordAlgebra):
+    def make(self):
+        return NgramSequenceState()
+
+    def ingest(self, state, record):
+        state.ingest(record)
+
+    def canonical(self, state):
+        return state.canonical()
+
+    def test_sequences_split_invariant(self, records):
+        rng = random.Random(707)
+        expected = {
+            clustered: NgramSequenceState().update(records).sequences(clustered)
+            for clustered in (False, True)
+        }
+        for _ in range(5):
+            merged = NgramSequenceState()
+            for part in random_split(records, rng, 4):
+                merged = merged.merge(NgramSequenceState().update(part))
+            for clustered in (False, True):
+                assert merged.sequences(clustered) == expected[clustered]
+
+    def test_mismatched_settings_rejected(self):
+        other = NgramSequenceState(json_only=False)
+        with pytest.raises(ValueError, match="different settings"):
+            NgramSequenceState().merge(other)
+
+
+class TestNgramModelAlgebra(MergeAlgebra):
+    def make(self):
+        return BackoffNgramModel(order=2)
+
+    def ingest(self, state, sequence):
+        state.add_sequence(sequence)
+
+    def canonical(self, state):
+        return (
+            {history: dict(counts) for history, counts in state._transitions.items()},
+            dict(state._totals),
+            state.trained_sequences,
+            state.trained_tokens,
+        )
+
+    def stream(self, rng):
+        vocabulary = [f"/api/{index}" for index in range(12)]
+        return [
+            [rng.choice(vocabulary) for _ in range(rng.randrange(2, 15))]
+            for _ in range(rng.randrange(1, 12))
+        ]
+
+    def test_merged_predicts_like_fit_on_all(self):
+        rng = random.Random(808)
+        for _ in range(5):
+            sequences = self.stream(rng)
+            left, right = random_split(sequences, rng, 2)
+            merged = self.build(left).merge(self.build(right))
+            whole = self.build(sequences)
+            for sequence in sequences:
+                for position in range(1, len(sequence)):
+                    history = sequence[max(0, position - 2) : position]
+                    assert merged.scored_predictions(history, k=5) == (
+                        whole.scored_predictions(history, k=5)
+                    )
+
+    def test_mismatched_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            BackoffNgramModel(order=1).merge(BackoffNgramModel(order=2))
+
+    def test_mismatched_discount_rejected(self):
+        with pytest.raises(ValueError, match="discount"):
+            BackoffNgramModel(backoff_discount=0.4).merge(
+                BackoffNgramModel(backoff_discount=0.5)
+            )
+
+
+class TestNgramEvalAlgebra(MergeAlgebra):
+    def make(self):
+        return NgramEvalState()
+
+    def ingest(self, state, item):
+        n, k, correct, total = item
+        state.record(n, k, correct, total)
+
+    def canonical(self, state):
+        return state.canonical()
+
+    def stream(self, rng):
+        return [
+            (rng.randrange(1, 3), rng.choice((1, 5, 10)), rng.randrange(8), 8)
+            for _ in range(rng.randrange(1, 40))
+        ]
+
+
+class TestCharacterizationAlgebra(RecordAlgebra):
+    def make(self):
+        return CharacterizationState()
+
+    def ingest(self, state, record):
+        state.ingest(record)
+
+    def canonical(self, state):
+        # The exact counters plus the always-associative sketches.
+        # ``top_urls`` is excluded on purpose: the dataset's URL
+        # universe exceeds the TopK capacity, and past capacity the
+        # space-saving summary guarantees error *bounds*, not
+        # split-invariant bit-identity.  The reservoir stays exact
+        # here because the JSON stream fits in one reservoir.
+        return (
+            state.summary,
+            state.traffic_source,
+            state.request_type,
+            state.cacheability,
+            {domain: vars(stats) for domain, stats in state.domains.items()},
+            bytes(state.client_sketch.registers),
+            (sorted(state.json_size_sample.items), state.json_size_sample.count),
+            (tuple(tuple(row) for row in state.url_counts.rows), state.url_counts.total),
+            (dict(state.top_domains.counts), state.top_domains.total),
+        )
+
+
+class TestPeriodicityDetectionAlgebra:
+    """Disjoint-union state: no stream, so just the union contract."""
+
+    @staticmethod
+    def outcome(object_id):
+        return ObjectPeriodicity(object_id=object_id, object_period=None)
+
+    def test_union_merges_disjoint_shards(self):
+        rng = random.Random(909)
+        for _ in range(TRIALS):
+            ids = [f"obj-{index}" for index in range(rng.randrange(2, 30))]
+            parts = random_split(ids, rng, 4)
+            merged = PeriodicityDetectionState()
+            for part in parts:
+                merged = merged.merge(
+                    PeriodicityDetectionState(
+                        {object_id: self.outcome(object_id) for object_id in part}
+                    )
+                )
+            assert sorted(merged.objects) == sorted(ids)
+
+    def test_overlap_rejected(self):
+        left = PeriodicityDetectionState({"obj-1": self.outcome("obj-1")})
+        right = PeriodicityDetectionState({"obj-1": self.outcome("obj-1")})
+        with pytest.raises(ValueError, match="overlap"):
+            left.merge(right)
+
+    def test_pickle_roundtrip(self):
+        state = PeriodicityDetectionState({"obj-1": self.outcome("obj-1")})
+        clone = pickle.loads(pickle.dumps(state))
+        assert sorted(clone.objects) == ["obj-1"]

@@ -129,3 +129,64 @@ class TestIntrospection:
         model.add_sequence(["a", "b"])
         model.add_sequence(["a", "c"])
         assert set(model.predict(["a"], k=2)) == {"b", "c"}
+
+
+class TestMerge:
+    SEQUENCES = [
+        ["home", "stories", "item1", "item2"],
+        ["home", "stories", "item1", "home"],
+        ["home", "item3"],
+        ["stories", "item1", "item3", "home"],
+    ]
+
+    def test_merge_equals_fit_on_all(self):
+        whole = BackoffNgramModel(order=2).fit(self.SEQUENCES)
+        left = BackoffNgramModel(order=2).fit(self.SEQUENCES[:2])
+        right = BackoffNgramModel(order=2).fit(self.SEQUENCES[2:])
+        merged = left.merge(right)
+        assert merged.trained_sequences == whole.trained_sequences
+        assert merged.trained_tokens == whole.trained_tokens
+        assert merged.vocabulary_size == whole.vocabulary_size
+        assert merged.context_count() == whole.context_count()
+        for sequence in self.SEQUENCES:
+            for position in range(1, len(sequence)):
+                history = sequence[max(0, position - 2):position]
+                assert merged.scored_predictions(history, k=5) == (
+                    whole.scored_predictions(history, k=5)
+                )
+                assert merged.successors(history) == whole.successors(history)
+
+    def test_merge_with_empty_is_identity(self):
+        trained = BackoffNgramModel(order=1).fit(self.SEQUENCES)
+        reference = BackoffNgramModel(order=1).fit(self.SEQUENCES)
+        trained.merge(BackoffNgramModel(order=1))
+        assert trained.successors(["home"]) == reference.successors(["home"])
+        assert trained.trained_sequences == reference.trained_sequences
+
+    def test_merge_order_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            BackoffNgramModel(order=1).merge(BackoffNgramModel(order=2))
+
+    def test_merge_discount_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="discount"):
+            BackoffNgramModel(backoff_discount=0.4).merge(
+                BackoffNgramModel(backoff_discount=0.9)
+            )
+
+
+class TestTieBreaks:
+    def test_equal_counts_rank_by_token(self):
+        model = BackoffNgramModel(order=1)
+        model.fit([["x", "zeta"], ["x", "alpha"], ["x", "mid"]])
+        assert model.predict(["x"], k=3) == ["alpha", "mid", "zeta"]
+
+    def test_predictions_invariant_to_training_order(self):
+        """Equal-count ties never depend on counter insertion order —
+        the property the sharded trainer's exactness relies on."""
+        sequences = [["x", "zeta"], ["x", "alpha"], ["x", "mid"]]
+        forward = BackoffNgramModel(order=1).fit(sequences)
+        backward = BackoffNgramModel(order=1).fit(reversed(sequences))
+        assert forward.predict(["x"], k=3) == backward.predict(["x"], k=3)
+        assert forward.scored_predictions(["x"], k=3) == (
+            backward.scored_predictions(["x"], k=3)
+        )

@@ -1,0 +1,284 @@
+"""Tests for repro.periodicity.results — consensus vs merged-flow paths.
+
+The §5.1 aggregation has two sources for an object's period: the
+paper's merged-flow detection and our client-consensus extension.
+These tests script the detector (no signal processing involved) to
+pin down every reconciliation path: empty flows, single-client
+objects where no consensus can form, equal-size cluster ties, the
+consensus override of a phase-artifact merged detection, and the
+determinism of all of the above under client insertion order — the
+property the parallel pipeline's exactness guarantee leans on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.periodicity.detector import DetectedPeriod
+from repro.periodicity.flows import ClientObjectFlow, ObjectFlow
+from repro.periodicity.results import (
+    PeriodicityReport,
+    analyze_flows,
+    analyze_object_flow,
+)
+
+
+def period(period_s, acf=0.9, power=10.0):
+    return DetectedPeriod(
+        period_s=period_s,
+        acf_value=acf,
+        spectral_power=power,
+        acf_threshold=0.5,
+        power_threshold=5.0,
+    )
+
+
+class ScriptedDetector:
+    """Returns scripted detections keyed by (flow length, first ts).
+
+    Client flows get distinct base offsets and the merged object flow
+    has a distinct length, so every detect() call resolves to exactly
+    one script entry regardless of client iteration order.  For a
+    single-client object — whose merged flow is indistinguishable
+    from the client flow — a script value may be a list, consumed
+    front to back across calls (merged-flow detection runs first).
+    """
+
+    def __init__(self, script):
+        self.script = dict(script)
+        self.calls = []
+
+    def detect(self, timestamps):
+        key = (int(len(timestamps)), float(timestamps[0]))
+        self.calls.append(key)
+        if key not in self.script:
+            raise AssertionError(f"unscripted detect() call: {key}")
+        scripted = self.script[key]
+        if isinstance(scripted, list):
+            return scripted.pop(0)
+        return scripted
+
+
+def make_flow(object_id, clients, order=None):
+    """Build an ObjectFlow; ``clients`` maps id → (base, count[, up, unc])."""
+    flow = ObjectFlow(object_id)
+    for client_id in order or sorted(clients):
+        spec = clients[client_id]
+        base, count = spec[0], spec[1]
+        upload = spec[2] if len(spec) > 2 else 0
+        uncacheable = spec[3] if len(spec) > 3 else 0
+        flow.client_flows[client_id] = ClientObjectFlow(
+            object_id=object_id,
+            client_id=client_id,
+            timestamps=base + 30.0 * np.arange(count, dtype=np.float64),
+            upload_count=upload,
+            uncacheable_count=uncacheable,
+        )
+    return flow
+
+
+def merged_key(flow):
+    merged = flow.merged_timestamps()
+    return (int(len(merged)), float(merged[0]))
+
+
+class TestEmptyFlows:
+    def test_analyze_flows_empty(self):
+        report = analyze_flows({}, total_json_requests=0)
+        assert report.objects == {}
+        assert report.periodic_request_count == 0
+        assert report.periodic_request_fraction == 0.0
+        assert report.periodic_upload_fraction == 0.0
+        assert report.periodic_uncacheable_fraction == 0.0
+        assert report.object_periods() == []
+        assert report.period_histogram() == []
+        assert report.share_cdf() == []
+        assert report.majority_periodic_fraction() == 0.0
+
+    def test_zero_json_requests_guard(self):
+        report = PeriodicityReport(objects={}, total_json_requests=0)
+        assert report.periodic_request_fraction == 0.0
+
+
+class TestSingleClientObject:
+    def test_no_consensus_possible(self):
+        """One client can never form a consensus (minimum is three)."""
+        clients = {"c1": (1000.0, 10, 4, 2)}
+        flow = make_flow("obj", clients)
+        # One client: the merged flow and the client flow share a key,
+        # so script the two calls in order (merged first).
+        detector = ScriptedDetector({
+            (10, 1000.0): [period(60.0), period(60.0)],
+        })
+        outcome = analyze_object_flow(flow, detector=detector)
+        assert outcome.object_period_source == "object-flow"
+        assert outcome.object_period.period_s == 60.0
+        assert outcome.periodic_clients == ["c1"]
+        assert outcome.periodic_request_count == 10
+        assert outcome.periodic_upload_count == 4
+        assert outcome.periodic_uncacheable_count == 2
+        assert outcome.periodic_client_share == 1.0
+        assert outcome.is_periodic
+
+    def test_single_client_disagreeing_with_merged(self):
+        clients = {"c1": (1000.0, 10)}
+        flow = make_flow("obj", clients)
+        detector = ScriptedDetector({
+            (10, 1000.0): [period(60.0), period(600.0)],
+        })
+        outcome = analyze_object_flow(flow, detector=detector)
+        assert outcome.object_period.period_s == 60.0
+        assert outcome.periodic_clients == []
+        assert not outcome.is_periodic
+        assert outcome.periodic_client_share == 0.0
+
+
+class TestConsensus:
+    def script_for(self, flow, client_periods, merged_period):
+        script = {merged_key(flow): merged_period}
+        for client_id, detected in client_periods.items():
+            client_flow = flow.client_flows[client_id]
+            script[(client_flow.request_count, float(client_flow.timestamps[0]))] = (
+                detected
+            )
+        return ScriptedDetector(script)
+
+    def test_consensus_supplies_missing_object_period(self):
+        clients = {f"c{i}": (1000.0 * (i + 1), 10) for i in range(3)}
+        flow = make_flow("obj", clients)
+        detector = self.script_for(
+            flow,
+            {client_id: period(120.0) for client_id in clients},
+            merged_period=None,
+        )
+        outcome = analyze_object_flow(flow, detector=detector)
+        assert outcome.object_period_source == "client-consensus"
+        assert outcome.object_period.period_s == 120.0
+        assert sorted(outcome.periodic_clients) == sorted(clients)
+
+    def test_two_clients_are_not_a_consensus(self):
+        clients = {"c1": (1000.0, 10), "c2": (2000.0, 10)}
+        flow = make_flow("obj", clients)
+        detector = self.script_for(
+            flow,
+            {client_id: period(120.0) for client_id in clients},
+            merged_period=None,
+        )
+        outcome = analyze_object_flow(flow, detector=detector)
+        assert outcome.object_period is None
+        assert outcome.object_period_source == "object-flow"
+        assert outcome.periodic_clients == []
+        assert not outcome.is_periodic
+
+    def test_consensus_overrides_phase_artifact(self):
+        """More clients on a different period than the merged one win."""
+        clients = {f"c{i}": (1000.0 * (i + 1), 10, 1, 1) for i in range(4)}
+        flow = make_flow("obj", clients)
+        client_periods = {
+            "c0": period(60.0),
+            "c1": period(240.0),
+            "c2": period(240.0),
+            "c3": period(240.0),
+        }
+        detector = self.script_for(flow, client_periods, merged_period=period(60.0))
+        outcome = analyze_object_flow(flow, detector=detector)
+        assert outcome.object_period_source == "client-consensus"
+        assert outcome.object_period.period_s == 240.0
+        assert sorted(outcome.periodic_clients) == ["c1", "c2", "c3"]
+        assert outcome.periodic_request_count == 30
+        assert outcome.periodic_upload_count == 3
+        assert outcome.periodic_uncacheable_count == 3
+
+    def test_no_override_without_strictly_more_support(self):
+        """A consensus merely *tying* the merged detection never wins."""
+        clients = {f"c{i}": (1000.0 * (i + 1), 10) for i in range(6)}
+        flow = make_flow("obj", clients)
+        client_periods = {
+            "c0": period(60.0),
+            "c1": period(60.0),
+            "c2": period(60.0),
+            "c3": period(240.0),
+            "c4": period(240.0),
+            "c5": period(240.0),
+        }
+        detector = self.script_for(flow, client_periods, merged_period=period(60.0))
+        outcome = analyze_object_flow(flow, detector=detector)
+        assert outcome.object_period_source == "object-flow"
+        assert outcome.object_period.period_s == 60.0
+        assert sorted(outcome.periodic_clients) == ["c0", "c1", "c2"]
+
+
+class TestTieDeterminism:
+    """Equal-size period clusters resolve identically for any client
+    insertion order — the invariant the sharded pipeline requires."""
+
+    CLIENTS = {f"c{i}": (1000.0 * (i + 1), 10) for i in range(6)}
+    PERIODS = {
+        "c0": period(120.0),
+        "c1": period(120.0),
+        "c2": period(120.0),
+        "c3": period(480.0),
+        "c4": period(480.0),
+        "c5": period(480.0),
+    }
+
+    def outcome_for(self, order):
+        flow = make_flow("obj", self.CLIENTS, order=order)
+        script = {merged_key(flow): None}
+        for client_id in order:
+            client_flow = flow.client_flows[client_id]
+            script[(client_flow.request_count, float(client_flow.timestamps[0]))] = (
+                self.PERIODS[client_id]
+            )
+        return analyze_object_flow(flow, detector=ScriptedDetector(script))
+
+    def test_smallest_period_wins_the_tie(self):
+        outcome = self.outcome_for(sorted(self.CLIENTS))
+        assert outcome.object_period_source == "client-consensus"
+        assert outcome.object_period.period_s == 120.0
+
+    @pytest.mark.parametrize(
+        "order",
+        [
+            ["c5", "c4", "c3", "c2", "c1", "c0"],
+            ["c3", "c0", "c4", "c1", "c5", "c2"],
+            ["c2", "c5", "c0", "c3", "c1", "c4"],
+        ],
+    )
+    def test_insertion_order_irrelevant(self, order):
+        expected = self.outcome_for(sorted(self.CLIENTS))
+        shuffled = self.outcome_for(order)
+        assert shuffled.object_period == expected.object_period
+        assert shuffled.object_period_source == expected.object_period_source
+        assert shuffled.periodic_clients == expected.periodic_clients
+        assert shuffled.client_periods == expected.client_periods
+
+
+class TestReportAggregates:
+    def test_aggregates_over_scripted_outcomes(self):
+        periodic = make_flow("obj-a", {f"c{i}": (1000.0 * (i + 1), 10, 2, 1) for i in range(2)})
+        aperiodic = make_flow("obj-b", {"c9": (9000.0, 10)})
+        script = {
+            merged_key(periodic): period(60.0),
+            merged_key(aperiodic): None,
+            (10, 9000.0): None,
+        }
+        for client_flow in periodic.client_flows.values():
+            script[(10, float(client_flow.timestamps[0]))] = period(60.0)
+        detector = ScriptedDetector(script)
+        report = analyze_flows(
+            {"obj-a": periodic, "obj-b": aperiodic},
+            total_json_requests=100,
+            detector=detector,
+        )
+        assert report.periodic_request_count == 20
+        assert report.periodic_request_fraction == pytest.approx(0.2)
+        assert report.periodic_upload_fraction == pytest.approx(4 / 20)
+        assert report.periodic_uncacheable_fraction == pytest.approx(2 / 20)
+        assert report.object_periods() == [60.0]
+        assert report.period_histogram() == [(60.0, 1)]
+        # Only obj-a has a detected object period, so the CDF has one
+        # sample with a 100% periodic-client share.
+        assert report.share_cdf() == [(1.0, 1.0)]
+        assert report.majority_periodic_fraction() == 1.0
