@@ -20,7 +20,13 @@ from ..logs.record import RequestLog
 from .characterize import characterize
 from .cacheability import analyze_cacheability
 
-__all__ = ["MetricDelta", "DriftReport", "traffic_metrics", "compare_traffic"]
+__all__ = [
+    "MetricDelta",
+    "DriftReport",
+    "traffic_metrics",
+    "compare_metrics",
+    "compare_traffic",
+]
 
 
 def traffic_metrics(logs: Sequence[RequestLog]) -> Dict[str, float]:
@@ -119,21 +125,32 @@ class DriftReport:
         return "\n".join(lines)
 
 
+def compare_metrics(
+    before: Dict[str, float],
+    after: Dict[str, float],
+    threshold: float = 0.10,
+) -> DriftReport:
+    """Drift report from two pre-computed metric vectors.
+
+    The streaming results layer compares consecutive windows without
+    keeping their records around, so it measures each window once and
+    diffs the vectors here; :func:`compare_traffic` is the
+    measure-then-diff convenience over raw log collections.
+    """
+    names = sorted(set(before) | set(after))
+    deltas = [
+        MetricDelta(name, before.get(name, 0.0), after.get(name, 0.0))
+        for name in names
+    ]
+    return DriftReport(deltas=deltas, threshold=threshold)
+
+
 def compare_traffic(
     before: Sequence[RequestLog],
     after: Sequence[RequestLog],
     threshold: float = 0.10,
 ) -> DriftReport:
     """Measure both collections and report per-metric drift."""
-    metrics_before = traffic_metrics(before)
-    metrics_after = traffic_metrics(after)
-    names = sorted(set(metrics_before) | set(metrics_after))
-    deltas = [
-        MetricDelta(
-            name,
-            metrics_before.get(name, 0.0),
-            metrics_after.get(name, 0.0),
-        )
-        for name in names
-    ]
-    return DriftReport(deltas=deltas, threshold=threshold)
+    return compare_metrics(
+        traffic_metrics(before), traffic_metrics(after), threshold=threshold
+    )

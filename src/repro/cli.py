@@ -11,6 +11,8 @@ Subcommands mirror the reproduction workflow::
     repro-json-cdn trend
     repro-json-cdn paper     --requests 60000
     repro-json-cdn engine-bench --requests 50000 --workers 4 --pipeline all
+    repro-json-cdn stream --logs-dir parts/ --window 300 --watermark 60 \
+        --emit windows.jsonl --checkpoint-dir ckpt/
 
 ``generate`` writes a synthetic dataset to disk; the analysis
 commands accept ``--logs <file>``, ``--logs-dir <partitioned dir>``
@@ -21,7 +23,11 @@ sweep (``ngram``) through the sharded engine (``repro.engine``);
 ``--checkpoint-dir`` makes any engine run resumable.  ``paper`` runs
 the whole evaluation and prints every table and figure;
 ``engine-bench`` measures serial vs sharded runs of any (or all) of
-the three engine pipelines on one dataset.
+the three engine pipelines on one dataset.  ``stream`` runs the
+online windowed service (``repro.stream``) over a file, a partitioned
+directory, a growing file (``--follow``) or stdin, emitting one JSONL
+snapshot per sealed event-time window and resuming sealed windows
+from ``--checkpoint-dir`` after a kill.
 """
 
 from __future__ import annotations
@@ -134,6 +140,76 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(windows, engine=True)
     windows.add_argument("--window", type=float, default=300.0,
                          help="tumbling window width in seconds")
+
+    stream = sub.add_parser(
+        "stream",
+        help="online windowed analysis service (event-time windows, "
+             "watermarks, resumable checkpoints)",
+    )
+    add_dataset_args(stream)
+    stream.add_argument(
+        "--logs-dir", metavar="DIR",
+        help="stream a partitioned log directory "
+             "(repro.logs.partition layout)",
+    )
+    stream.add_argument(
+        "--follow", metavar="FILE",
+        help="tail a growing JSONL/TSV file instead of replaying",
+    )
+    stream.add_argument(
+        "--stdin", action="store_true",
+        help="read JSONL records from standard input",
+    )
+    stream.add_argument("--window", type=float, default=300.0,
+                        help="window width in seconds")
+    stream.add_argument(
+        "--slide", type=float, default=None,
+        help="slide in seconds (omit for tumbling windows)",
+    )
+    stream.add_argument(
+        "--watermark", type=float, default=0.0,
+        help="watermark lag in seconds: the event-time disorder budget",
+    )
+    stream.add_argument(
+        "--emit", metavar="FILE",
+        help="append one JSONL snapshot per sealed window "
+             "('-' for stdout)",
+    )
+    stream.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist sealed windows; a restarted stream resumes "
+             "without double-counting them",
+    )
+    stream.add_argument(
+        "--ingest-workers", type=int, default=1,
+        help="parallel source readers feeding the bounded queue",
+    )
+    stream.add_argument(
+        "--queue-size", type=int, default=65_536,
+        help="bounded ingest queue capacity (records)",
+    )
+    stream.add_argument(
+        "--queue-policy", choices=("block", "drop"), default="block",
+        help="full-queue behavior: backpressure (block) or counted "
+             "shedding (drop)",
+    )
+    stream.add_argument("--permutations", type=int, default=20,
+                        help="period-detector permutations per window")
+    stream.add_argument("--top-k", type=int, default=5,
+                        help="predicted next URLs per window snapshot")
+    stream.add_argument(
+        "--no-periods", action="store_true",
+        help="skip per-window period detection (cheaper seals)",
+    )
+    stream.add_argument(
+        "--no-predictions", action="store_true",
+        help="skip the per-window ngram prediction model",
+    )
+    stream.add_argument(
+        "--idle-polls", type=int, default=20,
+        help="with --follow: stop after this many consecutive empty "
+             "polls (0 = follow forever)",
+    )
 
     paper = sub.add_parser("paper", help="reproduce every table and figure")
     add_dataset_args(paper, engine=True)
@@ -320,8 +396,8 @@ def _cmd_trend(args: argparse.Namespace) -> int:
 
 
 def _cmd_windows(args: argparse.Namespace) -> int:
-    from .analysis.streaming import WindowedCharacterizer
     from .core.report import render_table
+    from .stream import WindowedCharacterizer
 
     logs, _ = _load_or_generate(args)
     characterizer = WindowedCharacterizer(window_s=args.window)
@@ -348,6 +424,104 @@ def _cmd_windows(args: argparse.Namespace) -> int:
             title=f"Traffic time series ({args.window:.0f}s windows)",
         )
     )
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .core.pipeline import run_stream
+    from .core.report import render_table
+    from .periodicity.detector import DetectorConfig
+    from .stream import JsonlEmitter, file_source, stdin_source, tail_source
+
+    if args.ingest_workers < 1:
+        raise SystemExit("--ingest-workers must be >= 1")
+    detector_config = DetectorConfig(permutations=args.permutations)
+    kwargs = dict(
+        window_s=args.window,
+        slide_s=args.slide,
+        watermark_lag_s=args.watermark,
+        detector_config=detector_config,
+        detect_periods=not args.no_periods,
+        predict_urls=not args.no_predictions,
+        top_k=args.top_k,
+        queue_capacity=args.queue_size,
+        queue_policy=args.queue_policy,
+        ingest_workers=args.ingest_workers,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    emitter = None
+    if args.emit == "-":
+        emitter = JsonlEmitter(sys.stdout)
+    elif args.emit:
+        emitter = JsonlEmitter(args.emit)
+    try:
+        if args.follow:
+            source = tail_source(
+                args.follow,
+                idle_polls=args.idle_polls if args.idle_polls else None,
+            )
+            result = run_stream(source, emit=emitter, **kwargs)
+        elif args.stdin:
+            result = run_stream(stdin_source(), emit=emitter, **kwargs)
+        elif getattr(args, "logs_dir", None):
+            result = run_stream(logs_dir=args.logs_dir, emit=emitter, **kwargs)
+        elif args.logs:
+            result = run_stream(file_source(args.logs), emit=emitter, **kwargs)
+        else:
+            dataset = _build_dataset(args)
+            result = run_stream(dataset.logs, emit=emitter, **kwargs)
+    finally:
+        if emitter is not None and args.emit != "-":
+            emitter.close()
+
+    first_start = (
+        result.snapshots[0].window_start if result.snapshots else 0.0
+    )
+    rows = []
+    for snapshot in result.snapshots:
+        rows.append(
+            [
+                f"+{snapshot.window_start - first_start:.0f}s",
+                snapshot.records,
+                f"{snapshot.json_share * 100:.1f}%",
+                f"{snapshot.uncacheable_share * 100:.1f}%",
+                snapshot.unique_clients,
+                snapshot.periodic_objects,
+                ",".join(sorted(snapshot.drift)) or "-",
+            ]
+        )
+    print(
+        render_table(
+            ["window", "records", "json", "no-store", "clients",
+             "periodic", "drifted"],
+            rows,
+            title=(
+                f"Stream windows ({args.window:.0f}s"
+                + (f"/{args.slide:.0f}s slide" if args.slide else "")
+                + f", watermark {args.watermark:.0f}s)"
+            ),
+        )
+    )
+    print()
+    print(
+        f"sealed {result.sealed_windows} windows"
+        + (
+            f" (+{result.resumed_windows} resumed from checkpoint)"
+            if result.resumed_windows
+            else ""
+        )
+        + f"; {result.records_windowed:,} records windowed, "
+        f"{result.late_dropped} late-dropped, "
+        f"{result.resumed_skips} resumed-skips"
+    )
+    if result.ingest is not None:
+        stats = result.ingest.snapshot()
+        print(
+            f"ingest: {stats['delivered']:,} delivered via "
+            f"{stats['workers']} worker(s), queue peak "
+            f"{stats['queue_peak']}, dropped {stats['dropped']}, "
+            f"backpressure stalls {stats['blocked_puts']}"
+        )
     return 0
 
 
@@ -600,6 +774,7 @@ _COMMANDS = {
     "ngram": _cmd_ngram,
     "trend": _cmd_trend,
     "windows": _cmd_windows,
+    "stream": _cmd_stream,
     "paper": _cmd_paper,
     "validate": _cmd_validate,
     "replay": _cmd_replay,

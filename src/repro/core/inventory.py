@@ -131,6 +131,11 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         ("repro.engine", "repro.core.pipeline"),
         "benchmarks/test_perf_engine.py", "",
     ),
+    Experiment(
+        "P3", "performance", "Stream ingest throughput (1 vs N workers)",
+        ("repro.stream", "repro.core.pipeline"),
+        "benchmarks/test_perf_stream.py", "",
+    ),
 )
 
 

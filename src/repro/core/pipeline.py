@@ -13,6 +13,12 @@ into shards, each shard folds into a mergeable
 state finalizes into a report whose counter metrics are identical to
 the serial ones.
 
+:func:`run_stream` is the online entry point: it feeds a log source
+through the event-time windowed service (:mod:`repro.stream`), whose
+per-window accumulators are the same mergeable engine states — so
+merging all sealed windows of a replay reproduces the batch results
+exactly (see :mod:`repro.stream.accumulators`).
+
 :func:`run_periodicity_parallel` and :func:`run_ngram_parallel`
 extend the same contract to the paper's two most expensive analyses.
 Both run in engine stages: a record map stage folds shards into
@@ -63,6 +69,7 @@ __all__ = [
     "run_pattern_analysis_parallel",
     "run_periodicity_parallel",
     "run_ngram_parallel",
+    "run_stream",
 ]
 
 _HEATMAP_COLUMNS = ("never", "low", "mid", "high", "always")
@@ -625,6 +632,96 @@ def run_ngram_parallel(
     if with_stats:
         return results, stage_reports
     return results
+
+
+def run_stream(
+    logs: Optional[Iterable[RequestLog]] = None,
+    *,
+    logs_dir: Optional[str] = None,
+    window_s: float = 300.0,
+    slide_s: Optional[float] = None,
+    watermark_lag_s: float = 0.0,
+    flow_filter: Optional[FlowFilter] = None,
+    detector_config: Optional[DetectorConfig] = None,
+    detect_periods: bool = True,
+    predict_urls: bool = True,
+    top_k: int = 5,
+    drift_threshold: float = 0.10,
+    tracks: Optional[Sequence[str]] = None,
+    queue_capacity: int = 65_536,
+    queue_policy: str = "block",
+    ingest_workers: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    emit=None,
+    on_snapshot=None,
+    keep_accumulators: bool = False,
+):
+    """Online windowed analysis over a log source (:mod:`repro.stream`).
+
+    Exactly one input source must be given: ``logs`` (any iterable —
+    replayed in-process) or ``logs_dir`` (a partitioned directory;
+    with ``ingest_workers > 1`` each edge streams as its own source
+    through the bounded ingest queue and keeps its own watermark
+    frontier, so inter-edge skew never makes records late —
+    ``watermark_lag_s`` only needs to cover disorder *within* an
+    edge's own stream).
+
+    Returns the :class:`~repro.stream.service.StreamResult` with one
+    :class:`~repro.stream.snapshots.WindowSnapshot` per sealed
+    window.  ``emit`` (a path or text handle) appends each snapshot
+    as a JSONL line as it seals; ``checkpoint_dir`` persists sealed
+    windows so a killed stream resumes without double-counting
+    (see ``docs/streaming.md``).
+    """
+    from ..stream import (
+        ALL_TRACKS,
+        JsonlEmitter,
+        StreamConfig,
+        StreamService,
+        directory_sources,
+        iterable_source,
+        merged_directory_source,
+    )
+
+    if (logs is None) == (logs_dir is None):
+        raise ValueError("provide exactly one of logs= or logs_dir=")
+    config = StreamConfig(
+        window_s=window_s,
+        slide_s=slide_s,
+        watermark_lag_s=watermark_lag_s,
+        tracks=tuple(tracks) if tracks is not None else ALL_TRACKS,
+        flow_filter=flow_filter,
+        detector_config=detector_config,
+        match_tolerance=0.10,
+        detect_periods=detect_periods,
+        predict_urls=predict_urls,
+        top_k=top_k,
+        drift_threshold=drift_threshold,
+        queue_capacity=queue_capacity,
+        queue_policy=queue_policy,
+        ingest_workers=ingest_workers,
+        checkpoint_dir=checkpoint_dir,
+    )
+    emitter = None
+    if emit is not None:
+        emitter = emit if isinstance(emit, JsonlEmitter) else JsonlEmitter(emit)
+    service = StreamService(
+        config,
+        emitter=emitter,
+        on_snapshot=on_snapshot,
+        keep_accumulators=keep_accumulators,
+    )
+    try:
+        if logs is not None:
+            if ingest_workers > 1 or queue_policy == "drop":
+                return service.run([iterable_source(logs)])
+            return service.replay(logs)
+        if ingest_workers > 1:
+            return service.run(directory_sources(logs_dir))
+        return service.run([merged_directory_source(logs_dir)])
+    finally:
+        if emitter is not None and not isinstance(emit, JsonlEmitter):
+            emitter.close()
 
 
 def run_pattern_analysis(

@@ -27,6 +27,8 @@ __all__ = [
     "write_tsv",
     "read_logs",
     "write_logs",
+    "LogTailer",
+    "tail_records",
     "TSV_COLUMNS",
 ]
 
@@ -196,6 +198,98 @@ def read_tsv(path: PathLike, on_error: str = "raise") -> Iterator[RequestLog]:
                 raise ValueError(
                     f"{path}: malformed TSV record on line {line_number}: {exc}"
                 ) from exc
+
+
+# -- incremental tail ----------------------------------------------------
+
+
+class LogTailer:
+    """Incremental reader over a growing log file.
+
+    Each :meth:`poll` yields only the records appended since the last
+    poll — the already-consumed prefix is never re-read (the tailer
+    seeks straight to its byte offset).  A trailing line without a
+    newline is treated as an in-flight partial write and buffered
+    until a later poll completes it, so a record is never parsed from
+    half a line.
+
+    Only plain (non-gzip) JSONL/TSV files can be tailed: gzip members
+    are not byte-addressable mid-stream.  A file that does not exist
+    yet polls as empty until it appears.
+    """
+
+    def __init__(self, path: PathLike, on_error: str = "skip") -> None:
+        _check_on_error(on_error)
+        self.path = Path(path)
+        if self.path.suffix == ".gz":
+            raise ValueError(f"cannot tail a gzip file: {self.path}")
+        self.format = _detect_format(self.path)
+        self.on_error = on_error
+        self.offset = 0
+        self._partial = ""
+
+    def poll(self) -> List[RequestLog]:
+        """Records appended since the previous poll (possibly empty)."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.offset)
+                data = handle.read()
+        except FileNotFoundError:
+            return []
+        if not data:
+            return []
+        self.offset += len(data)
+        text = self._partial + data.decode("utf-8")
+        lines = text.split("\n")
+        self._partial = lines.pop()  # "" after a complete final line
+        records: List[RequestLog] = []
+        for line in lines:
+            line = line.strip() if self.format == "jsonl" else line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                if self.format == "jsonl":
+                    records.append(RequestLog.from_dict(json.loads(line)))
+                else:
+                    records.append(_row_to_record(line))
+            except (json.JSONDecodeError, TypeError, ValueError, KeyError) as exc:
+                if self.on_error == "skip":
+                    continue
+                raise ValueError(
+                    f"{self.path}: malformed {self.format} record while "
+                    f"tailing: {exc}"
+                ) from exc
+        return records
+
+
+def tail_records(
+    path: PathLike,
+    poll_interval: float = 0.1,
+    idle_polls: Optional[int] = None,
+    on_error: str = "skip",
+) -> Iterator[RequestLog]:
+    """Follow a growing log file, yielding newly appended records.
+
+    Polls every ``poll_interval`` seconds.  With ``idle_polls=N`` the
+    iterator ends after N consecutive empty polls (bounded tailing,
+    for replays and tests); with the default ``None`` it follows
+    forever, like ``tail -f``.
+    """
+    import time
+
+    tailer = LogTailer(path, on_error=on_error)
+    idle = 0
+    while True:
+        batch = tailer.poll()
+        if batch:
+            idle = 0
+            for record in batch:
+                yield record
+            continue
+        idle += 1
+        if idle_polls is not None and idle >= idle_polls:
+            return
+        time.sleep(poll_interval)
 
 
 # -- format dispatch -----------------------------------------------------

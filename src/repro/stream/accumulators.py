@@ -1,0 +1,220 @@
+"""Per-window accumulators built from the engine's mergeable states.
+
+A window's state is not a new kind of aggregate: it is exactly one
+:class:`~repro.engine.state.CharacterizationState` (§4), one
+:class:`~repro.engine.flowstate.FlowCollectionState` (§5.1) and one
+:class:`~repro.engine.ngramstate.NgramSequenceState` (§5.2), the same
+units the sharded batch engine maps and merges.  That buys the stream
+the engine's already-tested exactness contract for free: merging the
+accumulators of *all* sealed tumbling windows of a replay yields the
+same states a single batch pass builds, so finalizing the merge
+reproduces the batch reports bit for bit
+(:func:`merged_characterization`, :func:`merged_pattern_report`).
+
+``tracks`` lets a deployment drop analyses it does not need (for
+example ``("characterization",)`` for a pure traffic monitor) — each
+omitted track removes its per-record fold cost and its window memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..engine.flowstate import FlowCollectionState
+from ..engine.ngramstate import NgramSequenceState
+from ..engine.state import CharacterizationState
+from ..logs.record import RequestLog
+from ..periodicity.detector import DetectorConfig, PeriodDetector
+from ..periodicity.flows import FlowFilter
+from ..periodicity.results import PeriodicityReport, analyze_flows
+
+__all__ = [
+    "ALL_TRACKS",
+    "WindowAccumulator",
+    "merge_accumulators",
+    "merged_characterization",
+    "merged_periodicity",
+    "merged_ngram",
+    "merged_pattern_report",
+]
+
+ALL_TRACKS: Tuple[str, ...] = ("characterization", "periodicity", "ngram")
+
+
+class WindowAccumulator:
+    """All mergeable analysis state for one event-time window."""
+
+    def __init__(
+        self,
+        window_start: float,
+        window_end: float,
+        flow_filter: Optional[FlowFilter] = None,
+        tracks: Sequence[str] = ALL_TRACKS,
+    ) -> None:
+        unknown = set(tracks) - set(ALL_TRACKS)
+        if unknown:
+            raise ValueError(f"unknown analysis tracks: {sorted(unknown)}")
+        self.window_start = window_start
+        self.window_end = window_end
+        self.tracks = tuple(tracks)
+        self.record_count = 0
+        self.characterization = (
+            CharacterizationState() if "characterization" in tracks else None
+        )
+        self.flows = (
+            FlowCollectionState(flow_filter) if "periodicity" in tracks else None
+        )
+        self.ngrams = NgramSequenceState() if "ngram" in tracks else None
+
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        return (self.window_start, self.window_end)
+
+    def ingest(self, record: RequestLog) -> None:
+        self.record_count += 1
+        if self.characterization is not None:
+            self.characterization.ingest(record)
+        if self.flows is not None:
+            self.flows.ingest(record)
+        if self.ngrams is not None:
+            self.ngrams.ingest(record)
+
+    def update(self, records: Iterable[RequestLog]) -> "WindowAccumulator":
+        for record in records:
+            self.ingest(record)
+        return self
+
+    def merge(self, other: "WindowAccumulator") -> "WindowAccumulator":
+        """Fold another window's states in; bounds become the union.
+
+        Exact for every underlying state (the engine merge contract),
+        so merging disjoint windows equals accumulating their records
+        in one state.
+        """
+        if other.tracks != self.tracks:
+            raise ValueError(
+                f"cannot merge accumulators with different tracks: "
+                f"{self.tracks} != {other.tracks}"
+            )
+        self.window_start = min(self.window_start, other.window_start)
+        self.window_end = max(self.window_end, other.window_end)
+        self.record_count += other.record_count
+        if self.characterization is not None:
+            self.characterization.merge(other.characterization)
+        if self.flows is not None:
+            self.flows.merge(other.flows)
+        if self.ngrams is not None:
+            self.ngrams.merge(other.ngrams)
+        return self
+
+
+def merge_accumulators(
+    accumulators: Iterable[WindowAccumulator],
+) -> Optional[WindowAccumulator]:
+    """Fold window accumulators into one; ``None`` when empty."""
+    merged: Optional[WindowAccumulator] = None
+    for accumulator in accumulators:
+        if merged is None:
+            merged = WindowAccumulator(
+                accumulator.window_start,
+                accumulator.window_end,
+                flow_filter=(
+                    accumulator.flows.flow_filter
+                    if accumulator.flows is not None
+                    else None
+                ),
+                tracks=accumulator.tracks,
+            )
+        merged.merge(accumulator)
+    return merged
+
+
+# -- batch-equivalent finalizers ----------------------------------------
+#
+# These take a (merged) accumulator to the exact objects the batch
+# pipelines produce; the differential suite replays a static log
+# through the stream, merges every sealed window, and asserts equality
+# against `run_characterization` / `run_pattern_analysis`.
+
+
+def merged_characterization(
+    accumulator: WindowAccumulator,
+    domain_categories: Optional[Mapping[str, str]] = None,
+):
+    """§4 report from a merged accumulator (== batch serial)."""
+    if accumulator.characterization is None:
+        raise ValueError("accumulator does not track characterization")
+    return accumulator.characterization.to_report(domain_categories)
+
+
+def merged_periodicity(
+    accumulator: WindowAccumulator,
+    detector_config: Optional[DetectorConfig] = None,
+    match_tolerance: float = 0.10,
+) -> PeriodicityReport:
+    """§5.1 report from a merged accumulator (== batch serial)."""
+    if accumulator.flows is None:
+        raise ValueError("accumulator does not track periodicity")
+    detector = PeriodDetector(detector_config) if detector_config else None
+    return analyze_flows(
+        accumulator.flows.finalize(),
+        accumulator.flows.total_json_requests,
+        detector=detector,
+        match_tolerance=match_tolerance,
+    )
+
+
+def merged_ngram(
+    accumulator: WindowAccumulator,
+    ns: Sequence[int] = (1,),
+    ks: Sequence[int] = (1, 5, 10),
+    test_fraction: float = 0.25,
+    seed: int = 0,
+    model_order: Optional[int] = None,
+):
+    """Table 3 sweep from a merged accumulator (== batch serial).
+
+    Identical to :func:`repro.ngram.evaluate.run_table3` because the
+    state's finalized sequences equal ``build_client_sequences`` over
+    the unsplit stream, the hash split is order-independent, and model
+    counts/evaluation tallies are sums.
+    """
+    from ..ngram.evaluate import AccuracyResult, evaluate_topk, split_clients
+    from ..ngram.model import BackoffNgramModel
+
+    if accumulator.ngrams is None:
+        raise ValueError("accumulator does not track ngram sequences")
+    order = model_order if model_order is not None else max(ns)
+    results: Dict[Tuple[int, int, bool], AccuracyResult] = {}
+    for clustered in (False, True):
+        sequences = accumulator.ngrams.sequences(clustered)
+        train_ids, test_ids = split_clients(
+            sequences, test_fraction=test_fraction, seed=seed
+        )
+        model = BackoffNgramModel(order=order)
+        model.fit(sequences[client_id] for client_id in train_ids)
+        test_flows = [sequences[client_id] for client_id in test_ids]
+        for n in ns:
+            for result in evaluate_topk(model, test_flows, n, ks, clustered):
+                results[(n, result.k, clustered)] = result
+    return results
+
+
+def merged_pattern_report(
+    accumulator: WindowAccumulator,
+    detector_config: Optional[DetectorConfig] = None,
+    match_tolerance: float = 0.10,
+    ngram_ns: Sequence[int] = (1,),
+    ngram_ks: Sequence[int] = (1, 5, 10),
+):
+    """§5 PatternReport from a merged accumulator (== batch serial)."""
+    from ..core.pipeline import PatternReport
+
+    return PatternReport(
+        periodicity=merged_periodicity(
+            accumulator,
+            detector_config=detector_config,
+            match_tolerance=match_tolerance,
+        ),
+        ngram=merged_ngram(accumulator, ns=ngram_ns, ks=ngram_ks),
+    )

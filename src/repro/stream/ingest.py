@@ -1,0 +1,228 @@
+"""Bounded-queue ingest: sources in, one ordered record stream out.
+
+The ingest stage decouples *reading* log records (file parsing, gzip
+inflation, socket/stdin waits) from *analyzing* them (the window
+manager), with an explicit, bounded hand-off queue in between:
+
+* **Bounded** — the queue never holds more than ``capacity`` records,
+  so a slow analysis stage cannot make the process balloon while
+  sources race ahead.
+* **Backpressure or shed** — when the queue is full, policy
+  ``"block"`` stalls the producing worker (lossless; the right choice
+  for replays and tailing a file), policy ``"drop"`` sheds the record
+  and counts it in :attr:`IngestStats.dropped` (the right choice when
+  the source is a live feed that must not be stalled).  Nothing is
+  ever lost silently: every record is either delivered or counted.
+* **Parallel sources** — N worker threads split the source list
+  round-robin; each worker drains its sources in order, so a single
+  time-ordered source stays ordered while separate sources (edges)
+  interleave.  Every delivered record carries its source index
+  (:meth:`IngestStage.events`), and a source's exhaustion is
+  delivered in-band, so the window manager can keep one watermark
+  frontier per source — cross-source skew (scheduler bursts, one
+  edge hours behind another) holds the watermark back instead of
+  mass-dropping the slow edge's records as late.
+
+Worker exceptions propagate to the consumer at the next
+:meth:`IngestStage.records` step — a crashed source never turns into
+a silently truncated stream.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ..logs.record import RequestLog
+
+__all__ = ["IngestStats", "IngestStage"]
+
+#: Queue poll granularity; bounds shutdown latency, not throughput.
+_POLL_S = 0.05
+
+_DONE = object()  # per-worker end-of-stream sentinel
+
+
+class _SourceDone:
+    """In-band marker: the source with this index is exhausted."""
+
+    __slots__ = ("source",)
+
+    def __init__(self, source: int) -> None:
+        self.source = source
+
+
+@dataclass
+class IngestStats:
+    """Counters the ingest stage maintains; all monotone."""
+
+    ingested: int = 0  # records enqueued from sources
+    delivered: int = 0  # records handed to the consumer
+    dropped: int = 0  # records shed by the "drop" policy
+    queue_peak: int = 0  # high-water mark of the bounded queue
+    blocked_puts: int = 0  # producer stalls (backpressure events)
+    sources: int = 0
+    workers: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self) -> dict:
+        return {
+            "ingested": self.ingested,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "queue_peak": self.queue_peak,
+            "blocked_puts": self.blocked_puts,
+            "sources": self.sources,
+            "workers": self.workers,
+        }
+
+
+class IngestStage:
+    """Pulls records from sources through a bounded queue.
+
+    Parameters
+    ----------
+    sources:
+        Iterables of :class:`RequestLog` (files, tails, generators).
+    capacity:
+        Maximum records buffered between producers and the consumer.
+    policy:
+        ``"block"`` (backpressure, lossless) or ``"drop"``
+        (load-shedding with a counter).
+    workers:
+        Producer threads; sources are split round-robin among them.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[Iterable[RequestLog]],
+        capacity: int = 65_536,
+        policy: str = "block",
+        workers: int = 1,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if policy not in ("block", "drop"):
+            raise ValueError("policy must be 'block' or 'drop'")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.sources = list(sources)
+        self.capacity = capacity
+        self.policy = policy
+        self.workers = min(workers, len(self.sources)) if self.sources else 1
+        self.stats = IngestStats(
+            sources=len(self.sources), workers=self.workers
+        )
+        self._queue: "queue.Queue" = queue.Queue(maxsize=capacity)
+        self._threads: List[threading.Thread] = []
+        self._errors: List[BaseException] = []
+        self._stop = threading.Event()
+
+    # -- producer side ---------------------------------------------------
+
+    def _put(self, source: int, record: RequestLog) -> None:
+        stats = self.stats
+        if self.policy == "drop":
+            try:
+                self._queue.put_nowait((source, record))
+            except queue.Full:
+                with stats._lock:
+                    stats.dropped += 1
+                return
+        else:
+            blocked = False
+            while not self._stop.is_set():
+                try:
+                    self._queue.put((source, record), timeout=_POLL_S)
+                    break
+                except queue.Full:
+                    blocked = True
+            else:
+                return
+            if blocked:
+                with stats._lock:
+                    stats.blocked_puts += 1
+        size = self._queue.qsize()
+        with stats._lock:
+            stats.ingested += 1
+            if size > stats.queue_peak:
+                stats.queue_peak = size
+
+    def _put_control(self, item: object) -> None:
+        # Control markers bypass the drop policy (shedding an
+        # end-of-source marker would hold the watermark forever) but
+        # must not deadlock on a full queue after the consumer has
+        # gone away.
+        while True:
+            try:
+                self._queue.put(item, timeout=_POLL_S)
+                break
+            except queue.Full:
+                if self._stop.is_set():
+                    break
+
+    def _worker(
+        self, worker_sources: List[tuple]
+    ) -> None:
+        try:
+            for index, source in worker_sources:
+                for record in source:
+                    if self._stop.is_set():
+                        return
+                    self._put(index, record)
+                self._put_control(_SourceDone(index))
+        except BaseException as exc:  # propagated via records()
+            self._errors.append(exc)
+        finally:
+            self._put_control(_DONE)
+
+    # -- consumer side ---------------------------------------------------
+
+    def events(self) -> Iterator[tuple]:
+        """Start the workers and yield ``(source_index, record)`` events.
+
+        A ``(source_index, None)`` event marks that source as
+        exhausted — the window manager uses it to release the
+        source's watermark frontier.  Re-raises the first worker
+        exception after draining what was already queued; callers
+        never see a short stream without also seeing the failure.
+        """
+        if self._threads:
+            raise RuntimeError("IngestStage may only be consumed once")
+        indexed = list(enumerate(self.sources))
+        groups = [indexed[index :: self.workers] for index in range(self.workers)]
+        for group in groups:
+            thread = threading.Thread(
+                target=self._worker, args=(group,), daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+        try:
+            done = 0
+            while done < len(self._threads):
+                item = self._queue.get()
+                if item is _DONE:
+                    done += 1
+                    continue
+                if isinstance(item, _SourceDone):
+                    yield (item.source, None)
+                    continue
+                self.stats.delivered += 1
+                yield item
+            if self._errors:
+                raise RuntimeError("ingest source failed") from self._errors[0]
+        finally:
+            self._stop.set()
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+
+    def records(self) -> Iterator[RequestLog]:
+        """The record stream alone, source tags stripped."""
+        for _, record in self.events():
+            if record is not None:
+                yield record
+
+    def __iter__(self) -> Iterator[RequestLog]:
+        return self.records()

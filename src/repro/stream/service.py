@@ -1,0 +1,268 @@
+"""The online analysis service: ingest → windows → snapshots → store.
+
+:class:`StreamService` assembles the subsystem end to end:
+
+1. an :class:`~repro.stream.ingest.IngestStage` pulls records from
+   the configured sources through a bounded queue (backpressure or
+   counted shedding),
+2. a :class:`~repro.stream.windows.WindowManager` routes each record
+   into event-time windows whose accumulators are the engine's
+   mergeable states, sealing windows as the watermark advances,
+3. each sealed window is checkpointed
+   (:class:`repro.engine.checkpoint.CheckpointStore` — the same
+   atomic-write store the batch engine uses), snapshotted
+   (:class:`~repro.stream.snapshots.SnapshotBuilder`) and emitted.
+
+**Crash safety.**  The seal path is checkpoint-then-emit: a window is
+persisted before its snapshot leaves the process.  On restart with
+the same ``checkpoint_dir``, the service loads the sealed windows'
+bounds, replays the source from the beginning, silently skips records
+belonging to already-sealed windows (``resumed_skips`` — counted, not
+re-accumulated) and continues sealing from the first incomplete
+window, so no window is ever double-counted or double-emitted.
+
+**Exactness.**  For a lossless replay (``policy="block"``, watermark
+lag at least the stream's disorder bound), merging every sealed
+window's accumulator reproduces the batch pipelines' states exactly —
+:mod:`repro.stream.accumulators` holds that contract and
+``tests/test_stream_differential.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..engine.checkpoint import CheckpointError, CheckpointStore
+from ..logs.record import RequestLog
+from ..periodicity.detector import DetectorConfig
+from ..periodicity.flows import FlowFilter
+from .accumulators import ALL_TRACKS, WindowAccumulator
+from .ingest import IngestStage, IngestStats
+from .snapshots import JsonlEmitter, SnapshotBuilder, WindowSnapshot
+from .windows import WindowBounds, WindowManager, WindowSpec
+
+__all__ = ["StreamConfig", "StreamResult", "StreamService", "window_id"]
+
+_CHECKPOINT_SUBDIR = "stream-windows"
+
+
+def window_id(bounds: WindowBounds) -> str:
+    """Stable checkpoint key for a window: ``window-<start>-<end>``."""
+    return f"window-{bounds[0]!r}-{bounds[1]!r}"
+
+
+@dataclass
+class StreamConfig:
+    """Everything a stream deployment tunes, in one picklable bundle."""
+
+    window_s: float = 300.0
+    slide_s: Optional[float] = None
+    watermark_lag_s: float = 0.0
+    tracks: Sequence[str] = ALL_TRACKS
+    flow_filter: Optional[FlowFilter] = None
+    #: Snapshot-time period detection (None → detector defaults).
+    detector_config: Optional[DetectorConfig] = None
+    match_tolerance: float = 0.10
+    detect_periods: bool = True
+    predict_urls: bool = True
+    top_k: int = 5
+    drift_threshold: float = 0.10
+    #: Ingest bounds: queue capacity and full-queue policy.
+    queue_capacity: int = 65_536
+    queue_policy: str = "block"
+    ingest_workers: int = 1
+    checkpoint_dir: Optional[str] = None
+
+    def spec(self) -> WindowSpec:
+        return WindowSpec(self.window_s, self.slide_s)
+
+
+@dataclass
+class StreamResult:
+    """What one service run produced and counted."""
+
+    snapshots: List[WindowSnapshot] = dataclass_field(default_factory=list)
+    #: Sealed accumulators, only when the run kept them
+    #: (``keep_accumulators=True`` — replays and differential tests).
+    accumulators: List[WindowAccumulator] = dataclass_field(
+        default_factory=list
+    )
+    sealed_windows: int = 0
+    resumed_windows: int = 0
+    records_windowed: int = 0
+    late_dropped: int = 0
+    resumed_skips: int = 0
+    ingest: Optional[IngestStats] = None
+
+    @property
+    def total_windows(self) -> int:
+        return self.sealed_windows + self.resumed_windows
+
+
+class StreamService:
+    """Continuously windowed analysis over one or more record sources."""
+
+    def __init__(
+        self,
+        config: Optional[StreamConfig] = None,
+        emitter: Optional[JsonlEmitter] = None,
+        on_snapshot: Optional[Callable[[WindowSnapshot], None]] = None,
+        keep_accumulators: bool = False,
+    ) -> None:
+        self.config = config or StreamConfig()
+        self.emitter = emitter
+        self.on_snapshot = on_snapshot
+        self.keep_accumulators = keep_accumulators
+        self.store: Optional[CheckpointStore] = None
+        self._presealed: List[WindowBounds] = []
+        if self.config.checkpoint_dir is not None:
+            self.store = CheckpointStore(
+                Path(self.config.checkpoint_dir) / _CHECKPOINT_SUBDIR
+            )
+            self._presealed = self._load_sealed_bounds(self.store)
+        self._builder = SnapshotBuilder(
+            detector_config=self.config.detector_config,
+            match_tolerance=self.config.match_tolerance,
+            top_k=self.config.top_k,
+            drift_threshold=self.config.drift_threshold,
+            detect_periods=self.config.detect_periods,
+            predict_urls=self.config.predict_urls,
+        )
+        self._result: Optional[StreamResult] = None
+        self._manager: Optional[WindowManager] = None
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def resumed_windows(self) -> List[WindowBounds]:
+        """Windows sealed by a previous run on this checkpoint dir."""
+        return sorted(self._presealed)
+
+    def run(
+        self, sources: Sequence[Iterable[RequestLog]]
+    ) -> StreamResult:
+        """Drain the sources through the full pipeline; returns totals.
+
+        Blocks until every source is exhausted (use bounded tail
+        sources, or run in a thread, for endless feeds).
+        """
+        ingest = IngestStage(
+            sources,
+            capacity=self.config.queue_capacity,
+            policy=self.config.queue_policy,
+            workers=self.config.ingest_workers,
+        )
+        self._begin(
+            ingest_stats=ingest.stats,
+            sources=max(1, len(ingest.sources)),
+        )
+        for source, record in ingest.events():
+            if record is None:
+                self._manager.finish_source(source)
+            else:
+                self._manager.process(record, source)
+        return self._finish()
+
+    def replay(self, records: Iterable[RequestLog]) -> StreamResult:
+        """Synchronous single-source run, bypassing the ingest queue.
+
+        The differential harness and unit tests use this: identical
+        windowing semantics, no threads.
+        """
+        self._begin(ingest_stats=None)
+        for record in records:
+            self._manager.process(record)
+        return self._finish()
+
+    def load_sealed_accumulators(self) -> List[WindowAccumulator]:
+        """Previous runs' sealed window accumulators, window order.
+
+        Lets a resumed run (or an offline audit) rebuild the full
+        stream-equals-batch merge across a kill: checkpointed windows
+        plus the windows the resumed run sealed itself.
+        """
+        if self.store is None:
+            return []
+        accumulators: List[WindowAccumulator] = []
+        for shard_id in self.store.completed_ids():
+            try:
+                payload = self.store.load(shard_id)
+            except (CheckpointError, FileNotFoundError):
+                continue
+            accumulators.append(payload["accumulator"])
+        accumulators.sort(key=lambda acc: (acc.window_end, acc.window_start))
+        return accumulators
+
+    # -- internals -------------------------------------------------------
+
+    def _begin(
+        self, ingest_stats: Optional[IngestStats], sources: int = 1
+    ) -> StreamResult:
+        self._result = StreamResult(
+            resumed_windows=len(self._presealed), ingest=ingest_stats
+        )
+        self._manager = WindowManager(
+            self.config.spec(),
+            watermark_lag_s=self.config.watermark_lag_s,
+            factory=self._make_accumulator,
+            on_seal=self._seal,
+            presealed=self._presealed,
+            sources=sources,
+        )
+        return self._result
+
+    def _finish(self) -> StreamResult:
+        self._manager.flush()
+        result = self._result
+        result.sealed_windows = self._manager.sealed_windows
+        result.records_windowed = self._manager.records_windowed
+        result.late_dropped = self._manager.late_dropped
+        result.resumed_skips = self._manager.resumed_skips
+        return result
+
+    def _make_accumulator(self, start: float, end: float) -> WindowAccumulator:
+        return WindowAccumulator(
+            start,
+            end,
+            flow_filter=self.config.flow_filter,
+            tracks=self.config.tracks,
+        )
+
+    def _seal(
+        self, bounds: WindowBounds, accumulator: WindowAccumulator
+    ) -> None:
+        # Checkpoint before emitting: a kill between the two re-seals
+        # nothing (the resume skips this window) and at worst re-emits
+        # nothing — the window is either durable or not yet announced.
+        if self.store is not None:
+            self.store.save(
+                window_id(bounds),
+                {"bounds": bounds, "accumulator": accumulator},
+            )
+        snapshot = self._builder.build(
+            accumulator, late_dropped=self._manager.late_dropped
+        )
+        result = self._result
+        result.snapshots.append(snapshot)
+        if self.keep_accumulators:
+            result.accumulators.append(accumulator)
+        if self.emitter is not None:
+            self.emitter.emit(snapshot)
+        if self.on_snapshot is not None:
+            self.on_snapshot(snapshot)
+
+    @staticmethod
+    def _load_sealed_bounds(store: CheckpointStore) -> List[WindowBounds]:
+        bounds: List[WindowBounds] = []
+        for shard_id in store.completed_ids():
+            try:
+                payload = store.load(shard_id)
+            except (CheckpointError, FileNotFoundError):
+                # Torn checkpoints read as "window never sealed"; the
+                # resumed run recomputes and re-seals that window.
+                continue
+            if isinstance(payload, dict) and "bounds" in payload:
+                bounds.append(tuple(payload["bounds"]))
+        return bounds

@@ -1,14 +1,17 @@
 """Unit tests for repro.logs.io."""
 
 import gzip
+import json
 
 import pytest
 
 from repro.logs.io import (
     TSV_COLUMNS,
+    LogTailer,
     read_jsonl,
     read_logs,
     read_tsv,
+    tail_records,
     write_jsonl,
     write_logs,
     write_tsv,
@@ -163,3 +166,65 @@ class TestResilientReading:
         path = tmp_path / "logs.tsv.gz"
         write_logs(records, path)
         assert list(read_logs(path, on_error="skip")) == records
+
+
+class TestLogTailer:
+    def test_file_written_in_two_stages(self, records, tmp_path):
+        path = tmp_path / "growing.jsonl"
+        write_jsonl(records[:2], path)
+        tailer = LogTailer(path)
+        assert tailer.poll() == records[:2]
+        assert tailer.poll() == []  # nothing new, nothing re-read
+        with open(path, "a") as handle:
+            for record in records[2:]:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+        assert tailer.poll() == records[2:]
+        assert tailer.poll() == []
+
+    def test_partial_line_buffers_until_completed(self, records, tmp_path):
+        path = tmp_path / "growing.jsonl"
+        line = json.dumps(records[0].to_dict())
+        path.write_text(line[:20])  # torn mid-record, no newline
+        tailer = LogTailer(path)
+        assert tailer.poll() == []  # never parses half a line
+        with open(path, "a") as handle:
+            handle.write(line[20:] + "\n")
+        assert tailer.poll() == records[:1]
+
+    def test_tsv_files_tail_too(self, records, tmp_path):
+        path = tmp_path / "growing.tsv"
+        write_tsv(records[:1], path)
+        tailer = LogTailer(path)
+        assert tailer.poll() == records[:1]
+
+    def test_missing_file_polls_empty_until_it_appears(self, records, tmp_path):
+        path = tmp_path / "later.jsonl"
+        tailer = LogTailer(path)
+        assert tailer.poll() == []
+        write_jsonl(records, path)
+        assert tailer.poll() == records
+
+    def test_gzip_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="gzip"):
+            LogTailer(tmp_path / "logs.jsonl.gz")
+
+    def test_malformed_line_skipped_by_default(self, records, tmp_path):
+        path = tmp_path / "growing.jsonl"
+        write_jsonl(records[:1], path)
+        with open(path, "a") as handle:
+            handle.write("{torn write\n")
+        tailer = LogTailer(path)
+        assert tailer.poll() == records[:1]
+        tailer_strict = LogTailer(path, on_error="raise")
+        with pytest.raises(ValueError, match="tailing"):
+            tailer_strict.poll()
+
+    def test_tail_records_generator_ends_after_idle_polls(
+        self, records, tmp_path
+    ):
+        path = tmp_path / "growing.jsonl"
+        write_jsonl(records, path)
+        recovered = list(
+            tail_records(path, poll_interval=0.001, idle_polls=2)
+        )
+        assert recovered == records

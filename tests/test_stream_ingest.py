@@ -1,0 +1,170 @@
+"""Tests for the bounded-backpressure ingest stage and its sources."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.logs.io import write_logs
+from repro.logs.partition import write_partitioned
+from repro.stream.ingest import IngestStage
+from repro.stream.sources import (
+    directory_sources,
+    file_source,
+    iterable_source,
+    merged_directory_source,
+    stdin_source,
+)
+from tests.conftest import make_log
+
+BASE_TS = 1_559_347_200.0
+
+
+def logs(count, start=0.0, step=1.0, edge="edge-1"):
+    return [
+        make_log(timestamp=BASE_TS + start + index * step, edge_id=edge)
+        for index in range(count)
+    ]
+
+
+class TestIngestStage:
+    def test_single_source_preserves_order(self):
+        records = logs(50)
+        stage = IngestStage([iterable_source(records)])
+        assert list(stage.records()) == records
+        stats = stage.stats.snapshot()
+        assert stats["ingested"] == 50
+        assert stats["delivered"] == 50
+        assert stats["dropped"] == 0
+
+    def test_multiple_sources_deliver_everything(self):
+        first, second, third = logs(20), logs(30, start=100), logs(10, start=200)
+        stage = IngestStage(
+            [iter(first), iter(second), iter(third)], workers=2
+        )
+        delivered = list(stage.records())
+        assert len(delivered) == 60
+        assert sorted(r.timestamp for r in delivered) == sorted(
+            r.timestamp for r in first + second + third
+        )
+
+    def test_events_tag_records_and_mark_source_ends(self):
+        stage = IngestStage([iterable_source(logs(3)), iterable_source(logs(2))])
+        by_source = {0: 0, 1: 0}
+        ends = set()
+        for source, record in stage.events():
+            if record is None:
+                ends.add(source)
+            else:
+                by_source[source] += 1
+        assert by_source == {0: 3, 1: 2}
+        assert ends == {0, 1}
+
+    def test_block_policy_is_lossless_with_tiny_queue(self):
+        records = logs(500)
+        stage = IngestStage([iterable_source(records)], capacity=4)
+        delivered = 0
+        for _ in stage.records():
+            delivered += 1
+        assert delivered == 500
+        assert stage.stats.dropped == 0
+        assert stage.stats.queue_peak <= 4
+
+    def test_drop_policy_sheds_and_counts(self):
+        records = logs(2_000)
+        stage = IngestStage(
+            [iterable_source(records)], capacity=2, policy="drop"
+        )
+        delivered = 0
+        for _ in stage.records():
+            time.sleep(0.001)  # slow consumer forces the queue full
+            delivered += 1
+        stats = stage.stats.snapshot()
+        assert stats["dropped"] > 0
+        assert delivered + stats["dropped"] == 2_000
+        assert stats["ingested"] == delivered
+
+    def test_worker_error_propagates_after_drain(self):
+        def failing():
+            yield from logs(5)
+            raise OSError("socket reset")
+
+        stage = IngestStage([failing()])
+        consumed = []
+        with pytest.raises(RuntimeError, match="ingest source failed") as info:
+            for record in stage.records():
+                consumed.append(record)
+        assert len(consumed) == 5  # queued records drain before the raise
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_consuming_twice_is_an_error(self):
+        stage = IngestStage([iterable_source(logs(1))])
+        list(stage.records())
+        with pytest.raises(RuntimeError, match="once"):
+            next(stage.records())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IngestStage([], capacity=0)
+        with pytest.raises(ValueError):
+            IngestStage([], policy="spill")
+        with pytest.raises(ValueError):
+            IngestStage([], workers=0)
+
+    def test_workers_never_exceed_sources(self):
+        stage = IngestStage([iterable_source(logs(2))], workers=8)
+        assert stage.workers == 1
+        assert list(stage.records()) == logs(2)
+
+
+class TestSources:
+    def test_file_source(self, tmp_path):
+        records = logs(7)
+        path = tmp_path / "edge.jsonl"
+        write_logs(records, path)
+        assert list(file_source(path)) == records
+
+    def test_file_source_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "edge.jsonl"
+        write_logs(logs(2), path)
+        with open(path, "a") as handle:
+            handle.write('{"half a rec')
+        assert len(list(file_source(path))) == 2
+
+    def test_directory_sources_one_per_edge(self, tmp_path):
+        records = logs(10, edge="edge-1") + logs(10, start=50, edge="edge-2")
+        write_partitioned(records, tmp_path / "parts")
+        sources = directory_sources(tmp_path / "parts")
+        assert len(sources) == 2
+        streams = [list(source) for source in sources]
+        for stream in streams:
+            assert len({r.edge_id for r in stream}) == 1
+            timestamps = [r.timestamp for r in stream]
+            assert timestamps == sorted(timestamps)
+        assert sum(len(s) for s in streams) == 20
+
+    def test_merged_directory_source_is_time_ordered(self, tmp_path):
+        records = logs(15, edge="edge-1") + logs(15, start=0.5, edge="edge-2")
+        write_partitioned(records, tmp_path / "parts")
+        merged = list(merged_directory_source(tmp_path / "parts"))
+        timestamps = [r.timestamp for r in merged]
+        assert timestamps == sorted(timestamps)
+        assert len(merged) == 30
+
+    def test_stdin_source_parses_jsonl(self):
+        records = logs(3)
+        text = "\n".join(json.dumps(r.to_dict()) for r in records) + "\n"
+        assert list(stdin_source(io.StringIO(text))) == records
+
+    def test_stdin_source_skips_garbage_by_default(self):
+        good = json.dumps(logs(1)[0].to_dict())
+        stream = io.StringIO(f"not json\n{good}\n\n")
+        assert len(list(stdin_source(stream))) == 1
+
+    def test_stdin_source_raise_mode(self):
+        stream = io.StringIO("not json\n")
+        with pytest.raises(ValueError, match="line 1"):
+            list(stdin_source(stream, on_error="raise"))
