@@ -87,6 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
                 help="worker count for the sharded analysis engine "
                      "(1 = serial)",
             )
+            p.add_argument(
+                "--shard-timeout", type=float, default=None,
+                metavar="SECONDS", dest="shard_timeout",
+                help="abandon a pooled shard attempt after this many "
+                     "seconds and retry it (thread/process backends)",
+            )
+            p.add_argument(
+                "--retries", type=int, default=0,
+                help="extra attempts per failed or timed-out shard, "
+                     "with exponential backoff",
+            )
+            p.add_argument(
+                "--lenient", action="store_true",
+                help="skip (and count) malformed log lines instead of "
+                     "failing the read",
+            )
 
     gen = sub.add_parser("generate", help="generate a synthetic dataset")
     add_dataset_args(gen)
@@ -272,15 +288,25 @@ def _build_dataset(args: argparse.Namespace):
 
 
 def _load_or_generate(args: argparse.Namespace):
+    on_error = "skip" if getattr(args, "lenient", False) else "raise"
     if getattr(args, "logs_dir", None):
         from .logs.partition import read_partitioned
 
-        return list(read_partitioned(args.logs_dir)), None
+        return list(read_partitioned(args.logs_dir, on_error=on_error)), None
     if args.logs:
-        return list(read_logs(args.logs)), None
+        return list(read_logs(args.logs, on_error=on_error)), None
     dataset = _build_dataset(args)
     categories = {d.name: d.category.value for d in dataset.domains}
     return dataset.logs, categories
+
+
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """The hardening knobs every engine-backed command forwards."""
+    return dict(
+        shard_timeout_s=getattr(args, "shard_timeout", None),
+        retries=getattr(args, "retries", 0),
+        lenient=getattr(args, "lenient", False),
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -300,12 +326,14 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             logs_dir=args.logs_dir,
             workers=workers,
             checkpoint_dir=checkpoint_dir,
+            **_engine_kwargs(args),
         )
     else:
         logs, categories = _load_or_generate(args)
         if workers > 1 or checkpoint_dir:
             report = run_characterization_parallel(
-                logs, categories, workers=workers, checkpoint_dir=checkpoint_dir
+                logs, categories, workers=workers,
+                checkpoint_dir=checkpoint_dir, **_engine_kwargs(args),
             )
         else:
             report = run_characterization(logs, categories)
@@ -326,6 +354,7 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
                 detector_config=detector_config,
                 workers=workers,
                 checkpoint_dir=checkpoint_dir,
+                **_engine_kwargs(args),
             )
         else:
             logs, _ = _load_or_generate(args)
@@ -334,6 +363,7 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
                 detector_config=detector_config,
                 workers=workers,
                 checkpoint_dir=checkpoint_dir,
+                **_engine_kwargs(args),
             )
     else:
         logs, _ = _load_or_generate(args)
@@ -350,6 +380,7 @@ def _cmd_periodicity(args: argparse.Namespace) -> int:
         detector_config=detector_config,
         workers=getattr(args, "workers", 1),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        **_engine_kwargs(args),
     )
     if getattr(args, "logs_dir", None):
         report = run_periodicity_parallel(logs_dir=args.logs_dir, **kwargs)
@@ -365,6 +396,7 @@ def _cmd_ngram(args: argparse.Namespace) -> int:
         ns=tuple(range(1, args.order + 1)),
         workers=getattr(args, "workers", 1),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        **_engine_kwargs(args),
     )
     if getattr(args, "logs_dir", None):
         results = run_ngram_parallel(logs_dir=args.logs_dir, **kwargs)
@@ -788,6 +820,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "workers", 1) < 1:
         parser.error("--workers must be >= 1")
+    if getattr(args, "retries", 0) < 0:
+        parser.error("--retries must be >= 0")
+    shard_timeout = getattr(args, "shard_timeout", None)
+    if shard_timeout is not None and shard_timeout <= 0:
+        parser.error("--shard-timeout must be positive")
     if getattr(args, "logs", None) and getattr(args, "logs_dir", None):
         parser.error("--logs and --logs-dir are mutually exclusive")
     return _COMMANDS[args.command](args)

@@ -291,13 +291,15 @@ def _characterize_shard(shard):
     return CharacterizationState().update(shard.iter_logs())
 
 
-def _plan_record_shards(logs, logs_dir, workers, num_shards):
+def _plan_record_shards(logs, logs_dir, workers, num_shards, lenient=False):
     """Shared record-stage planning for every parallel pipeline.
 
     Exactly one of ``logs`` / ``logs_dir`` must be given: an
     in-memory iterable shards by stable client hash (a client's
     records never straddle shards), a partitioned directory shards
     per edge × hour file (so the dataset never materializes).
+    ``lenient`` makes directory shards skip (and count) malformed log
+    lines instead of failing the shard.
     """
     from ..engine.shard import plan_directory_shards, plan_memory_shards
 
@@ -306,8 +308,29 @@ def _plan_record_shards(logs, logs_dir, workers, num_shards):
     if num_shards is None:
         num_shards = max(1, workers) * 4
     if logs_dir is not None:
-        return plan_directory_shards(logs_dir), num_shards
+        on_error = "skip" if lenient else "raise"
+        return plan_directory_shards(logs_dir, on_error=on_error), num_shards
     return plan_memory_shards(list(logs), num_shards), num_shards
+
+
+def _stage_executor(
+    workers, backend, checkpoint, progress,
+    shard_timeout_s=None, retries=0, faults=None,
+):
+    """Shared executor construction so every pipeline stage exposes
+    the same hardening knobs (per-shard timeout, bounded retries,
+    fault plan)."""
+    from ..engine.executor import ShardExecutor
+
+    return ShardExecutor(
+        workers=workers,
+        backend=backend,
+        checkpoint=checkpoint,
+        progress=progress,
+        timeout_s=shard_timeout_s,
+        retries=retries,
+        faults=faults,
+    )
 
 
 def _stage_checkpoint(checkpoint_dir, stage: str):
@@ -397,6 +420,10 @@ def run_characterization_parallel(
     checkpoint_dir: Optional[str] = None,
     progress=None,
     with_stats: bool = False,
+    shard_timeout_s: Optional[float] = None,
+    retries: int = 0,
+    faults=None,
+    lenient: bool = False,
 ):
     """§4 characterization through the sharded engine.
 
@@ -414,17 +441,22 @@ def run_characterization_parallel(
     ``checkpoint_dir`` enables resume: completed shards persist there
     and a re-run loads them instead of recomputing.  ``progress`` is
     called with ``(ShardResult, done, total)`` per finished shard.
-    With ``with_stats=True`` returns ``(report, RunReport)``.
+    ``shard_timeout_s``/``retries`` bound hung or flaky shards (see
+    ``docs/robustness.md``); ``lenient`` skips malformed log lines
+    with a counter instead of failing the shard; ``faults`` installs
+    a :class:`~repro.faults.FaultPlan` for the run.
+    With ``with_stats=True`` returns ``(report, RunReport)`` — the
+    run report carries retry/quarantine counters.
     """
-    from ..engine.executor import ShardExecutor
     from ..engine.state import CharacterizationState
 
-    shards, _ = _plan_record_shards(logs, logs_dir, workers, num_shards)
-    executor = ShardExecutor(
-        workers=workers,
-        backend=backend,
-        checkpoint=_stage_checkpoint(checkpoint_dir, "characterization"),
-        progress=progress,
+    shards, _ = _plan_record_shards(
+        logs, logs_dir, workers, num_shards, lenient=lenient
+    )
+    executor = _stage_executor(
+        workers, backend,
+        _stage_checkpoint(checkpoint_dir, "characterization"), progress,
+        shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
     )
     state, run_report = executor.run(shards, _characterize_shard)
     if state is None:
@@ -448,6 +480,10 @@ def run_periodicity_parallel(
     checkpoint_dir: Optional[str] = None,
     progress=None,
     with_stats: bool = False,
+    shard_timeout_s: Optional[float] = None,
+    retries: int = 0,
+    faults=None,
+    lenient: bool = False,
 ):
     """§5.1 periodicity analysis through the sharded engine.
 
@@ -470,16 +506,16 @@ def run_periodicity_parallel(
     With ``with_stats=True`` returns ``(report, [RunReport, RunReport])``
     (one per stage).
     """
-    from ..engine.executor import ShardExecutor
     from ..engine.flowstate import FlowCollectionState
     from ..engine.shard import plan_item_shards
 
-    shards, num_shards = _plan_record_shards(logs, logs_dir, workers, num_shards)
-    collect = ShardExecutor(
-        workers=workers,
-        backend=backend,
-        checkpoint=_stage_checkpoint(checkpoint_dir, "periodicity-flows"),
-        progress=progress,
+    shards, num_shards = _plan_record_shards(
+        logs, logs_dir, workers, num_shards, lenient=lenient
+    )
+    collect = _stage_executor(
+        workers, backend,
+        _stage_checkpoint(checkpoint_dir, "periodicity-flows"), progress,
+        shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
     )
     flow_state, collect_report = collect.run(
         shards, partial(_flow_collect_shard, flow_filter=flow_filter)
@@ -494,11 +530,10 @@ def run_periodicity_parallel(
         key=lambda item: item[0],
         prefix="periodicity-detect",
     )
-    detect = ShardExecutor(
-        workers=workers,
-        backend=backend,
-        checkpoint=_stage_checkpoint(checkpoint_dir, "periodicity-detect"),
-        progress=progress,
+    detect = _stage_executor(
+        workers, backend,
+        _stage_checkpoint(checkpoint_dir, "periodicity-detect"), progress,
+        shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
     )
     detect_state, detect_report = detect.run(
         detect_shards,
@@ -533,6 +568,10 @@ def run_ngram_parallel(
     checkpoint_dir: Optional[str] = None,
     progress=None,
     with_stats: bool = False,
+    shard_timeout_s: Optional[float] = None,
+    retries: int = 0,
+    faults=None,
+    lenient: bool = False,
 ):
     """The Table 3 sweep through the sharded engine.
 
@@ -558,18 +597,18 @@ def run_ngram_parallel(
     ranks equal-count successors by token, never by insertion order.
     With ``with_stats=True`` returns ``(results, [RunReport, …])``.
     """
-    from ..engine.executor import ShardExecutor
     from ..engine.ngramstate import NgramSequenceState
     from ..engine.shard import plan_item_shards
     from ..ngram.evaluate import split_clients
     from ..ngram.model import BackoffNgramModel
 
-    shards, num_shards = _plan_record_shards(logs, logs_dir, workers, num_shards)
-    sequence_stage = ShardExecutor(
-        workers=workers,
-        backend=backend,
-        checkpoint=_stage_checkpoint(checkpoint_dir, "ngram-sequences"),
-        progress=progress,
+    shards, num_shards = _plan_record_shards(
+        logs, logs_dir, workers, num_shards, lenient=lenient
+    )
+    sequence_stage = _stage_executor(
+        workers, backend,
+        _stage_checkpoint(checkpoint_dir, "ngram-sequences"), progress,
+        shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
     )
     sequence_state, sequence_report = sequence_stage.run(
         shards, _ngram_sequences_shard
@@ -593,11 +632,11 @@ def run_ngram_parallel(
             key=_ngram_client_id,
             prefix=f"ngram-train-{variant}",
         )
-        train = ShardExecutor(
-            workers=workers,
-            backend=backend,
-            checkpoint=_stage_checkpoint(checkpoint_dir, f"ngram-train-{variant}"),
-            progress=progress,
+        train = _stage_executor(
+            workers, backend,
+            _stage_checkpoint(checkpoint_dir, f"ngram-train-{variant}"),
+            progress,
+            shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
         )
         model, train_report = train.run(
             train_shards, partial(_ngram_train_shard, order=order)
@@ -611,11 +650,11 @@ def run_ngram_parallel(
             key=_ngram_client_id,
             prefix=f"ngram-eval-{variant}",
         )
-        evaluate = ShardExecutor(
-            workers=workers,
-            backend=backend,
-            checkpoint=_stage_checkpoint(checkpoint_dir, f"ngram-eval-{variant}"),
-            progress=progress,
+        evaluate = _stage_executor(
+            workers, backend,
+            _stage_checkpoint(checkpoint_dir, f"ngram-eval-{variant}"),
+            progress,
+            shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
         )
         eval_state, eval_report = evaluate.run(
             eval_shards, partial(_ngram_eval_shard, model=model, ns=ns, ks=ks)
@@ -655,6 +694,7 @@ def run_stream(
     emit=None,
     on_snapshot=None,
     keep_accumulators: bool = False,
+    faults=None,
 ):
     """Online windowed analysis over a log source (:mod:`repro.stream`).
 
@@ -671,8 +711,12 @@ def run_stream(
     window.  ``emit`` (a path or text handle) appends each snapshot
     as a JSONL line as it seals; ``checkpoint_dir`` persists sealed
     windows so a killed stream resumes without double-counting
-    (see ``docs/streaming.md``).
+    (see ``docs/streaming.md``).  ``faults`` installs a
+    :class:`~repro.faults.FaultPlan` for the run (ingest stalls, torn
+    window checkpoints, damaged source lines — see
+    ``docs/robustness.md``).
     """
+    from ..faults import runtime as fault_runtime
     from ..stream import (
         ALL_TRACKS,
         JsonlEmitter,
@@ -712,13 +756,14 @@ def run_stream(
         keep_accumulators=keep_accumulators,
     )
     try:
-        if logs is not None:
-            if ingest_workers > 1 or queue_policy == "drop":
-                return service.run([iterable_source(logs)])
-            return service.replay(logs)
-        if ingest_workers > 1:
-            return service.run(directory_sources(logs_dir))
-        return service.run([merged_directory_source(logs_dir)])
+        with fault_runtime.installed(faults):
+            if logs is not None:
+                if ingest_workers > 1 or queue_policy == "drop":
+                    return service.run([iterable_source(logs)])
+                return service.replay(logs)
+            if ingest_workers > 1:
+                return service.run(directory_sources(logs_dir))
+            return service.run([merged_directory_source(logs_dir)])
     finally:
         if emitter is not None and not isinstance(emit, JsonlEmitter):
             emitter.close()
@@ -753,6 +798,10 @@ def run_pattern_analysis_parallel(
     num_shards: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     progress=None,
+    shard_timeout_s: Optional[float] = None,
+    retries: int = 0,
+    faults=None,
+    lenient: bool = False,
 ) -> PatternReport:
     """Every §5 analysis through the sharded engine.
 
@@ -778,6 +827,10 @@ def run_pattern_analysis_parallel(
         num_shards=num_shards,
         checkpoint_dir=checkpoint_dir,
         progress=progress,
+        shard_timeout_s=shard_timeout_s,
+        retries=retries,
+        faults=faults,
+        lenient=lenient,
     )
     ngram = run_ngram_parallel(
         logs,
@@ -789,5 +842,9 @@ def run_pattern_analysis_parallel(
         num_shards=num_shards,
         checkpoint_dir=checkpoint_dir,
         progress=progress,
+        shard_timeout_s=shard_timeout_s,
+        retries=retries,
+        faults=faults,
+        lenient=lenient,
     )
     return PatternReport(periodicity=periodicity, ngram=ngram)

@@ -10,13 +10,31 @@ On-disk format (documented for ``docs/engine.md``): one file per
 shard, named ``<sanitized shard id>-<8-hex id hash>.ckpt``, holding a
 pickled envelope::
 
-    {"format": "repro-engine-checkpoint", "version": 1,
-     "shard_id": <original id>, "payload": <partial state>}
+    {"format": "repro-engine-checkpoint", "version": 2,
+     "shard_id": <original id>,
+     "payload": <pickled partial state, as bytes>,
+     "checksum": <blake2b-128 hex digest of the payload bytes>}
 
-Writes are atomic (temp file + ``os.replace``), so a kill during a
-save never leaves a truncated checkpoint behind — loads verify the
-envelope and the embedded shard id and treat anything malformed as
-"not checkpointed".
+The payload is pickled separately so the checksum covers its exact
+byte representation; :meth:`load` recomputes and compares it, which
+catches bit-rot and partial overwrites that still unpickle cleanly.
+Version-1 envelopes (inline unchecked ``payload``) are still read so
+existing checkpoint directories survive the upgrade; new saves are
+always v2.
+
+Durability: writes go temp-file → ``fsync`` → ``os.replace``, so a
+kill (or power loss, up to filesystem guarantees) during a save never
+leaves a truncated checkpoint under the real name.  Loads verify the
+envelope, the embedded shard id, and the checksum, raising
+:class:`CheckpointError` for anything malformed — which the executor
+treats as "not checkpointed" and recomputes, never crashes
+(:attr:`~repro.engine.executor.RunReport.recomputed_checkpoints`).
+
+``checkpoint.torn`` / ``checkpoint.corrupt`` fault hooks (see
+``repro.faults``) simulate exactly those failure modes by damaging
+the bytes at save time, after the real state has been returned to the
+caller — a torn checkpoint affects the *next* run's resume, never the
+run that wrote it.
 """
 
 from __future__ import annotations
@@ -28,12 +46,19 @@ from hashlib import blake2b
 from pathlib import Path
 from typing import Any, List, Union
 
+from ..faults import runtime as fault_runtime
+
 __all__ = ["CheckpointStore", "CheckpointError"]
 
 _FORMAT = "repro-engine-checkpoint"
-_VERSION = 1
+_VERSION = 2
+_LEGACY_VERSION = 1
 _SUFFIX = ".ckpt"
 _UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _checksum(payload_bytes: bytes) -> str:
+    return blake2b(payload_bytes, digest_size=16).hexdigest()
 
 
 class CheckpointError(RuntimeError):
@@ -41,7 +66,15 @@ class CheckpointError(RuntimeError):
 
 
 class CheckpointStore:
-    """Directory of per-shard partial states, keyed by shard id."""
+    """Directory of per-shard partial states, keyed by shard id.
+
+    ``load`` always returns a fresh object: payloads are unpickled
+    per call and never cached, so callers (the executor merges states
+    in place) may mutate what they get back without corrupting later
+    loads.  Subclasses that add caching must preserve this contract —
+    the executor defends against the merge base specifically, but
+    fresh-per-load is the documented API.
+    """
 
     def __init__(self, directory: Union[str, Path], create: bool = True) -> None:
         self.directory = Path(directory)
@@ -60,22 +93,37 @@ class CheckpointStore:
         return self.path_for(shard_id).is_file()
 
     def save(self, shard_id: str, payload: Any) -> Path:
-        """Atomically persist one shard's partial state."""
+        """Atomically persist one shard's partial state.
+
+        temp file → ``fsync`` → ``os.replace``: the real name only
+        ever points at a complete, flushed file.
+        """
+        payload_bytes = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        # Checksum the pristine bytes first: the corrupt-fault hook
+        # damages the payload *after* checksumming, exactly like
+        # post-write bit-rot would.
+        checksum = _checksum(payload_bytes)
+        payload_bytes = self._fault_damage(shard_id, payload_bytes)
         envelope = {
             "format": _FORMAT,
             "version": _VERSION,
             "shard_id": shard_id,
-            "payload": payload,
+            "payload": payload_bytes,
+            "checksum": checksum,
         }
+        data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        data = self._fault_tear(shard_id, data)
         path = self.path_for(shard_id)
         tmp = path.with_suffix(path.suffix + ".tmp")
         with open(tmp, "wb") as handle:
-            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
         return path
 
     def load(self, shard_id: str) -> Any:
-        """Load one shard's partial state, verifying the envelope."""
+        """Load one shard's partial state, verifying envelope + checksum."""
         path = self.path_for(shard_id)
         try:
             with open(path, "rb") as handle:
@@ -87,7 +135,7 @@ class CheckpointStore:
         if (
             not isinstance(envelope, dict)
             or envelope.get("format") != _FORMAT
-            or envelope.get("version") != _VERSION
+            or envelope.get("version") not in (_VERSION, _LEGACY_VERSION)
         ):
             raise CheckpointError(f"{path} is not a v{_VERSION} engine checkpoint")
         if envelope.get("shard_id") != shard_id:
@@ -95,7 +143,21 @@ class CheckpointStore:
                 f"{path} holds shard {envelope.get('shard_id')!r}, "
                 f"expected {shard_id!r}"
             )
-        return envelope["payload"]
+        if envelope.get("version") == _LEGACY_VERSION:
+            # v1: inline payload, no checksum to verify.
+            return envelope["payload"]
+        payload_bytes = envelope.get("payload")
+        if not isinstance(payload_bytes, bytes):
+            raise CheckpointError(f"{path} has a non-bytes v{_VERSION} payload")
+        if _checksum(payload_bytes) != envelope.get("checksum"):
+            raise CheckpointError(
+                f"checksum mismatch in {path}: checkpoint bytes were "
+                f"corrupted after write"
+            )
+        try:
+            return pickle.loads(payload_bytes)
+        except Exception as exc:
+            raise CheckpointError(f"undecodable payload in {path}: {exc}") from exc
 
     def completed_ids(self) -> List[str]:
         """Shard ids with a readable checkpoint, sorted."""
@@ -120,3 +182,32 @@ class CheckpointStore:
             path.unlink()
             removed += 1
         return removed
+
+    # -- fault hooks (no-ops unless a plan is installed) ------------------
+
+    @staticmethod
+    def _fault_damage(shard_id: str, payload_bytes: bytes) -> bytes:
+        """``checkpoint.corrupt``: flip one payload byte post-checksum.
+
+        The envelope still unpickles and carries the checksum of the
+        pristine bytes, so the load path must fail on the checksum
+        comparison — this is the fault that distinguishes checksum
+        validation from mere unpickle-success.
+        """
+        if fault_runtime.should_fire("checkpoint.corrupt", shard_id) is None:
+            return payload_bytes
+        damaged = bytearray(payload_bytes)
+        damaged[len(damaged) // 2] ^= 0xFF
+        return bytes(damaged)
+
+    @staticmethod
+    def _fault_tear(shard_id: str, data: bytes) -> bytes:
+        """``checkpoint.torn``: keep only the first half of the file.
+
+        Simulates a crash mid-write of a non-atomic writer (or a
+        filesystem that lost the tail); the resulting file fails to
+        unpickle and must read as "not checkpointed".
+        """
+        if fault_runtime.should_fire("checkpoint.torn", shard_id) is None:
+            return data
+        return data[: len(data) // 2]

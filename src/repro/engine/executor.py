@@ -18,24 +18,62 @@ Backends:
 * ``auto``    — serial for one worker, processes otherwise.
 
 Per-shard failures are captured, not cascaded: every shard gets a
-:class:`ShardResult` (ok/error/timing/provenance), and with
+:class:`ShardResult` (ok/error/timing/attempts/provenance), and with
 ``strict=True`` (default) the run raises :class:`EngineError` *after*
-all shards finish, listing every failure.  A
-:class:`CheckpointStore` plugs in to skip already-computed shards and
-persist fresh ones; a ``progress`` callback observes each completed
-shard for live reporting.
+all shards finish, listing the failures (capped — see
+:data:`EngineError.MAX_LISTED`).
+
+Partial-failure hardening (see ``docs/robustness.md``):
+
+* ``timeout_s`` — a pooled shard attempt that exceeds the deadline is
+  *abandoned* (its eventual result ignored; checkpoints save
+  parent-side, so an abandoned attempt cannot persist anything) and
+  the shard is resubmitted.  Serial runs cannot preempt, so the
+  timeout applies to thread/process backends only.
+* ``retries`` — each shard gets up to ``1 + retries`` attempts with
+  exponential backoff (``backoff_s * 2**(attempt-1)``, slept on the
+  worker so the control loop never blocks).  A worker-process death
+  (``BrokenProcessPool``) breaks every outstanding future; the pool
+  is rebuilt once and the victims resubmitted on their next attempt.
+* **quarantine** — a shard that fails its final attempt is poison.
+  With ``strict=False`` the run completes without it; the report
+  lists it under :attr:`RunReport.quarantined`.
+* **checkpoint recovery** — a checkpoint that fails to load (torn
+  file, checksum mismatch) is treated as absent: the shard recomputes
+  and the report counts it in
+  :attr:`RunReport.recomputed_checkpoints`.  Corruption never
+  crashes a run.
+
+A :class:`CheckpointStore` plugs in to skip already-computed shards
+and persist fresh ones; a ``progress`` callback observes each
+completed shard for live reporting.  A
+:class:`~repro.faults.FaultPlan` passed as ``faults`` is installed
+for the duration of the run (and shipped to pool workers as a pickled
+argument) to exercise all of the above deterministically.
 """
 
 from __future__ import annotations
 
+import copy
+import multiprocessing
+import os
 import pickle
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
-from .checkpoint import CheckpointStore
+from ..faults import FaultPlan, InjectedFault
+from ..faults import runtime as fault_runtime
+from .checkpoint import CheckpointError, CheckpointStore
 from .shard import Shard
 
 __all__ = [
@@ -52,21 +90,50 @@ MapFn = Callable[[Shard], Any]
 ProgressFn = Callable[["ShardResult", int, int], None]
 
 
+def _exception_line(error: Optional[str]) -> str:
+    """The exception line of a captured traceback.
+
+    ``traceback.format_exc()`` puts ``ExcType: message`` on the last
+    non-empty line; synthetic errors (timeouts) are single lines and
+    fall out the same way.
+    """
+    for line in reversed((error or "").strip().splitlines()):
+        if line.strip():
+            return line.strip()
+    return "?"
+
+
 class EngineError(RuntimeError):
-    """One or more shards failed in a strict run."""
+    """One or more shards failed in a strict run.
+
+    The message lists at most :data:`MAX_LISTED` failing shards with
+    their exception lines; the full set is always available on
+    :attr:`failures`, so a 500-shard outage stays a 10-line message.
+    """
+
+    MAX_LISTED = 8
 
     def __init__(self, failures: Sequence["ShardResult"]) -> None:
         self.failures = list(failures)
         lines = [f"{len(self.failures)} shard(s) failed:"]
-        for result in self.failures:
-            first_line = (result.error or "").strip().splitlines()
-            lines.append(f"  {result.shard_id}: {first_line[-1] if first_line else '?'}")
+        for result in self.failures[: self.MAX_LISTED]:
+            lines.append(f"  {result.shard_id}: {_exception_line(result.error)}")
+        hidden = len(self.failures) - self.MAX_LISTED
+        if hidden > 0:
+            lines.append(
+                f"  ... and {hidden} more (see EngineError.failures)"
+            )
         super().__init__("\n".join(lines))
 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """Outcome of one shard: state provenance, timing, error capture."""
+    """Outcome of one shard: state provenance, timing, error capture.
+
+    ``attempts`` counts map-function executions (0 for a shard served
+    from a checkpoint); ``seconds`` spans from the first submission to
+    the final outcome, retries and backoff included.
+    """
 
     shard_id: str
     ok: bool
@@ -74,6 +141,8 @@ class ShardResult:
     records: Optional[int] = None
     error: Optional[str] = None
     from_checkpoint: bool = False
+    attempts: int = 1
+    recomputed_checkpoint: bool = False
 
 
 @dataclass
@@ -105,6 +174,24 @@ class RunReport:
         )
 
     @property
+    def retries(self) -> int:
+        """Extra map-function attempts beyond the first, run-wide."""
+        return sum(max(0, result.attempts - 1) for result in self.results)
+
+    @property
+    def quarantined(self) -> List[str]:
+        """Poison shards: failed every attempt (run completes only
+        when ``strict=False``)."""
+        return [result.shard_id for result in self.results if not result.ok]
+
+    @property
+    def recomputed_checkpoints(self) -> int:
+        """Shards whose checkpoint failed to load and were recomputed."""
+        return sum(
+            1 for result in self.results if result.recomputed_checkpoint
+        )
+
+    @property
     def total_records(self) -> Optional[int]:
         counts = [result.records for result in self.results if result.ok]
         if not counts or any(count is None for count in counts):
@@ -112,8 +199,59 @@ class RunReport:
         return sum(counts)
 
 
-def _run_one(map_fn: MapFn, shard: Shard) -> Any:
-    return map_fn(shard)
+def _fire_map_faults(shard_id: str) -> None:
+    """Consult the installed fault plan at the map-function boundary."""
+    rule = fault_runtime.should_fire("map.hang", shard_id)
+    if rule is not None:
+        time.sleep(rule.param)
+    rule = fault_runtime.should_fire("map.worker_death", shard_id)
+    if rule is not None:
+        if multiprocessing.parent_process() is not None:
+            # A real pool worker: die the way an OOM kill would, with
+            # no exception propagation and no cleanup.
+            os._exit(13)
+        # Thread/serial backends have no process to kill; degrade to a
+        # raised fault so the plan stays meaningful on every backend.
+        raise InjectedFault(f"injected worker death on shard {shard_id!r}")
+    if fault_runtime.should_fire("map.exception", shard_id) is not None:
+        raise InjectedFault(f"injected map exception on shard {shard_id!r}")
+
+
+def _run_one(
+    map_fn: MapFn,
+    shard: Shard,
+    plan: Optional[FaultPlan] = None,
+    attempt: int = 0,
+    delay_s: float = 0.0,
+) -> Any:
+    """Execute one shard attempt (runs on the pool worker).
+
+    The fault plan arrives as a pickled argument — process-pool
+    workers do not share the parent's module globals — and is
+    installed around the map call so hooks deep inside ``map_fn``
+    (gzip reads, line parsing) see it.  On the thread and serial
+    backends the parent's own install is already visible, so the
+    worker installs nothing: a hung, abandoned worker thread must
+    never touch the global plan after its run has moved on.
+    ``delay_s`` is the retry backoff, slept worker-side to keep the
+    parent control loop free.
+    """
+    if delay_s > 0:
+        time.sleep(delay_s)
+    if fault_runtime.active() is not None:
+        plan = None  # parent-side install (thread/serial) already covers us
+    with fault_runtime.installed(plan), fault_runtime.attempt(attempt):
+        _fire_map_faults(shard.shard_id)
+        return map_fn(shard)
+
+
+@dataclass
+class _Inflight:
+    """Bookkeeping for one submitted shard attempt."""
+
+    index: int
+    attempt: int
+    submitted: float
 
 
 class ShardExecutor:
@@ -126,11 +264,21 @@ class ShardExecutor:
         checkpoint: Optional[CheckpointStore] = None,
         progress: Optional[ProgressFn] = None,
         strict: bool = True,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive when set")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
         self.workers = workers
         self.backend = (
             ("serial" if workers == 1 else "process") if backend == "auto" else backend
@@ -138,6 +286,10 @@ class ShardExecutor:
         self.checkpoint = checkpoint
         self.progress = progress
         self.strict = strict
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.faults = faults
 
     # -- public API --------------------------------------------------------
 
@@ -148,6 +300,12 @@ class ShardExecutor:
         ``merge(other)``; states merge in plan order.  With an empty
         plan the merged state is ``None``.
         """
+        with fault_runtime.installed(self.faults):
+            return self._run(shards, map_fn)
+
+    # -- internals ---------------------------------------------------------
+
+    def _run(self, shards: Sequence[Shard], map_fn: MapFn):
         started = time.perf_counter()
         ids = [shard.shard_id for shard in shards]
         if len(set(ids)) != len(ids):
@@ -158,20 +316,29 @@ class ShardExecutor:
         states: Dict[int, Any] = {}
         results: Dict[int, ShardResult] = {}
         pending: List[int] = []
+        recompute: Set[int] = set()
 
-        # Reduce phase 0: satisfy shards from the checkpoint store.
+        # Reduce phase 0: satisfy shards from the checkpoint store.  A
+        # checkpoint that fails validation (torn file, checksum
+        # mismatch) is not an error — the shard recomputes.
         for index, shard in enumerate(shards):
-            if self.checkpoint is not None and self.checkpoint.has(shard.shard_id):
-                state = self.checkpoint.load(shard.shard_id)
-                states[index] = state
-                results[index] = ShardResult(
-                    shard_id=shard.shard_id,
-                    ok=True,
-                    records=getattr(state, "record_count", None),
-                    from_checkpoint=True,
-                )
-            else:
+            if self.checkpoint is None or not self.checkpoint.has(shard.shard_id):
                 pending.append(index)
+                continue
+            try:
+                state = self.checkpoint.load(shard.shard_id)
+            except CheckpointError:
+                recompute.add(index)
+                pending.append(index)
+                continue
+            states[index] = state
+            results[index] = ShardResult(
+                shard_id=shard.shard_id,
+                ok=True,
+                records=getattr(state, "record_count", None),
+                from_checkpoint=True,
+                attempts=0,
+            )
 
         done_count = len(results)
         total = len(shards)
@@ -179,7 +346,7 @@ class ShardExecutor:
             self._notify(results[index], done_count, total)
 
         def record_outcome(index: int, state: Any, seconds: float,
-                           error: Optional[str]) -> None:
+                           error: Optional[str], attempts: int) -> None:
             nonlocal done_count
             shard = shards[index]
             if error is None:
@@ -192,25 +359,30 @@ class ShardExecutor:
                 seconds=seconds,
                 records=getattr(state, "record_count", None) if error is None else None,
                 error=error,
+                attempts=attempts,
+                recomputed_checkpoint=index in recompute and error is None,
             )
             results[index] = result
             done_count += 1
             self._notify(result, done_count, total)
 
         if self.backend == "serial":
-            for index in pending:
-                state, seconds, error = self._map_serial(map_fn, shards[index])
-                record_outcome(index, state, seconds, error)
+            self._map_serial_all(map_fn, shards, pending, record_outcome)
         else:
             self._map_pooled(map_fn, shards, pending, record_outcome)
 
         # Reduce: merge partial states in plan order, deterministically.
+        # ``merge`` may fold into the receiver in place, so a
+        # checkpoint-loaded merge base is copied first — a store that
+        # caches loaded objects must never see them mutated.
         merged: Any = None
         for index in range(total):
             state = states.get(index)
             if state is None:
                 continue
             if merged is None:
+                if results[index].from_checkpoint:
+                    state = copy.deepcopy(state)
                 merged = state
             else:
                 merged = merged.merge(state)
@@ -225,11 +397,15 @@ class ShardExecutor:
             raise EngineError(report.failed)
         return merged, report
 
-    # -- internals ---------------------------------------------------------
-
     def _notify(self, result: ShardResult, done: int, total: int) -> None:
         if self.progress is not None:
             self.progress(result, done, total)
+
+    def _backoff(self, attempt: int) -> float:
+        """Delay before ``attempt`` (attempt 0 never waits)."""
+        if attempt <= 0 or self.backoff_s == 0:
+            return 0.0
+        return self.backoff_s * (2 ** (attempt - 1))
 
     @staticmethod
     def _ensure_picklable_map_fn(map_fn: MapFn) -> None:
@@ -252,43 +428,163 @@ class ShardExecutor:
                 f"module top level, or use the thread/serial backend."
             ) from exc
 
-    @staticmethod
-    def _map_serial(map_fn: MapFn, shard: Shard):
-        shard_started = time.perf_counter()
-        try:
-            state = map_fn(shard)
-            return state, time.perf_counter() - shard_started, None
-        except Exception:
-            return None, time.perf_counter() - shard_started, traceback.format_exc()
+    def _map_serial_all(
+        self,
+        map_fn: MapFn,
+        shards: Sequence[Shard],
+        pending: Sequence[int],
+        record_outcome: Callable[[int, Any, float, Optional[str], int], None],
+    ) -> None:
+        """Serial backend: retry loop in place (no preemptive timeout)."""
+        for index in pending:
+            first_started = time.perf_counter()
+            attempt = 0
+            while True:
+                delay = self._backoff(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    state = _run_one(map_fn, shards[index], self.faults, attempt)
+                    error = None
+                except Exception:
+                    state = None
+                    error = traceback.format_exc()
+                if error is None or attempt >= self.retries:
+                    record_outcome(
+                        index,
+                        state,
+                        time.perf_counter() - first_started,
+                        error,
+                        attempt + 1,
+                    )
+                    break
+                attempt += 1
 
     def _map_pooled(
         self,
         map_fn: MapFn,
         shards: Sequence[Shard],
         pending: Sequence[int],
-        record_outcome: Callable[[int, Any, float, Optional[str]], None],
+        record_outcome: Callable[[int, Any, float, Optional[str], int], None],
     ) -> None:
-        pool_cls = ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
-        pool: Executor
-        with pool_cls(max_workers=self.workers) as pool:
-            started_at: Dict[Any, float] = {}
-            future_index: Dict[Any, int] = {}
+        pool_cls = (
+            ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        )
+        pool = pool_cls(max_workers=self.workers)
+        inflight: Dict[Future, _Inflight] = {}
+        first_started: Dict[int, float] = {}
+
+        def submit(index: int, attempt: int) -> None:
+            nonlocal pool
+            first_started.setdefault(index, time.perf_counter())
+            args = (map_fn, shards[index], self.faults, attempt,
+                    self._backoff(attempt))
+            try:
+                future = pool.submit(_run_one, *args)
+            except (BrokenExecutor, RuntimeError):
+                # A dead worker poisons the whole ProcessPoolExecutor;
+                # replace it once and resubmit.  (RuntimeError covers
+                # "cannot schedule new futures after shutdown" races.)
+                pool = pool_cls(max_workers=self.workers)
+                future = pool.submit(_run_one, *args)
+            inflight[future] = _Inflight(index, attempt, time.perf_counter())
+
+        def finish(info: _Inflight, state: Any, error: Optional[str],
+                   retryable: bool) -> None:
+            if error is not None and retryable and info.attempt < self.retries:
+                submit(info.index, info.attempt + 1)
+                return
+            record_outcome(
+                info.index,
+                state,
+                time.perf_counter() - first_started[info.index],
+                error,
+                info.attempt + 1,
+            )
+
+        try:
             for index in pending:
-                future = pool.submit(_run_one, map_fn, shards[index])
-                future_index[future] = index
-                started_at[future] = time.perf_counter()
-            outstanding = set(future_index)
-            while outstanding:
-                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index = future_index[future]
-                    seconds = time.perf_counter() - started_at[future]
+                submit(index, 0)
+            while inflight:
+                done, _ = wait(
+                    set(inflight),
+                    timeout=self._wait_timeout(inflight),
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    info = inflight.pop(future)
                     try:
                         state = future.result()
+                    except BrokenExecutor:
+                        # Collateral of a worker death: the attempt
+                        # never misbehaved, so retrying it is always
+                        # sound.
+                        finish(info, None, traceback.format_exc(), True)
                     except Exception:
-                        record_outcome(index, None, seconds, traceback.format_exc())
+                        finish(info, None, traceback.format_exc(), True)
                     else:
-                        record_outcome(index, state, seconds, None)
+                        finish(info, state, None, False)
+                self._expire(inflight, finish, submit)
+        finally:
+            # Abandoned (timed-out) attempts may still be running;
+            # don't block the run on them.  Their results are ignored
+            # and checkpoints save parent-side, so they can't leak.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _wait_timeout(self, inflight: Dict[Future, _Inflight]) -> Optional[float]:
+        """Time until the next in-flight attempt hits its deadline."""
+        if self.timeout_s is None or not inflight:
+            return None
+        now = time.perf_counter()
+        remaining = min(
+            self.timeout_s - (now - info.submitted) for info in inflight.values()
+        )
+        return max(0.01, remaining)
+
+    def _expire(
+        self,
+        inflight: Dict[Future, _Inflight],
+        finish: Callable[[_Inflight, Any, Optional[str], bool], None],
+        resubmit: Callable[[int, int], None],
+    ) -> None:
+        """Abandon attempts past the per-shard deadline and retry them.
+
+        The deadline clock starts at submission, but only *running*
+        attempts are charged: an expired future that never left the
+        pool queue (it was waiting behind hung workers) is requeued at
+        the same attempt number — queue pressure is the pool's fault,
+        not the shard's, and must not burn its retry budget.
+        """
+        if self.timeout_s is None:
+            return
+        now = time.perf_counter()
+        expired = [
+            future
+            for future, info in inflight.items()
+            if now - info.submitted >= self.timeout_s
+        ]
+        for future in expired:
+            info = inflight.pop(future)
+            if future.done():
+                # Finished in the race window since wait() returned;
+                # the next loop pass would have handled it — do so now.
+                try:
+                    state = future.result()
+                except Exception:
+                    finish(info, None, traceback.format_exc(), True)
+                else:
+                    finish(info, state, None, False)
+                continue
+            if future.cancel():
+                resubmit(info.index, info.attempt)
+                continue
+            finish(
+                info,
+                None,
+                f"TimeoutError: shard exceeded {self.timeout_s:g}s deadline "
+                f"(attempt {info.attempt + 1}); attempt abandoned",
+                True,
+            )
 
 
 def run_shards(
@@ -299,6 +595,10 @@ def run_shards(
     checkpoint: Optional[CheckpointStore] = None,
     progress: Optional[ProgressFn] = None,
     strict: bool = True,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.05,
+    faults: Optional[FaultPlan] = None,
 ):
     """One-shot convenience wrapper around :class:`ShardExecutor`."""
     executor = ShardExecutor(
@@ -307,5 +607,9 @@ def run_shards(
         checkpoint=checkpoint,
         progress=progress,
         strict=strict,
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        faults=faults,
     )
     return executor.run(shards, map_fn)

@@ -26,7 +26,15 @@ from .partition import (
     write_partitioned,
 )
 from .merge import is_time_ordered, merge_files, merge_sorted, split_by_edge
-from .io import read_jsonl, read_logs, read_tsv, write_jsonl, write_logs, write_tsv
+from .io import (
+    LineStats,
+    read_jsonl,
+    read_logs,
+    read_tsv,
+    write_jsonl,
+    write_logs,
+    write_tsv,
+)
 from .sampling import keep_fraction, sample_clients, sample_objects, sample_requests
 from .record import CacheStatus, HttpMethod, RequestLog, client_key, object_key
 from .schema import DEFAULT_SCHEMA, FieldSpec, LogSchema, SchemaError, ValidationIssue
@@ -45,6 +53,7 @@ __all__ = [
     "SchemaError",
     "ValidationIssue",
     "DEFAULT_SCHEMA",
+    "LineStats",
     "read_jsonl",
     "write_jsonl",
     "read_tsv",

@@ -8,6 +8,13 @@ can be processed without loading them in memory:
   ~2x smaller and closer to real CDN log formats.
 
 Both transparently read/write gzip when the filename ends in ``.gz``.
+
+Malformed lines are never silently lost: with ``on_error="skip"`` the
+reader drops the line *and counts it* — pass a :class:`LineStats` as
+``stats`` to observe ``skipped`` (and ``parsed``) per read.  The
+``io.truncated_gzip`` and ``io.malformed_line`` fault hooks (see
+``repro.faults``) damage the line stream deterministically to test
+exactly these paths; both are no-ops unless a plan is installed.
 """
 
 from __future__ import annotations
@@ -15,12 +22,15 @@ from __future__ import annotations
 import gzip
 import io
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Optional, Union
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
+from ..faults import runtime as fault_runtime
 from .record import CacheStatus, HttpMethod, RequestLog
 
 __all__ = [
+    "LineStats",
     "read_jsonl",
     "write_jsonl",
     "read_tsv",
@@ -60,6 +70,48 @@ def _open_text(path: PathLike, mode: str) -> IO[str]:
     return open(path, mode + "t", encoding="utf-8")
 
 
+@dataclass
+class LineStats:
+    """Per-read line accounting (pass as ``stats`` to a reader).
+
+    ``parsed + skipped`` covers every non-blank line seen, so a
+    lenient read is auditable: nothing disappears without a count.
+    """
+
+    parsed: int = 0
+    skipped: int = 0
+
+
+def _fault_lines(path: PathLike, handle: IO[str]) -> Iterator[Tuple[int, str]]:
+    """Numbered lines of ``handle``, damaged per the installed fault plan.
+
+    With no plan installed (the production path) this is a bare
+    ``enumerate``.  ``io.truncated_gzip`` raises ``EOFError`` after
+    ``param`` lines of a ``.gz`` file — the error a reader hits when a
+    gzip member lost its tail; ``io.malformed_line`` replaces selected
+    lines with torn-write garbage before parsing.  Both decisions are
+    attempt-aware, so a retried read (engine ``retries``) comes back
+    clean once the rule's ``times`` is exhausted.
+    """
+    plan = fault_runtime.active()
+    if plan is None:
+        yield from enumerate(handle, start=1)
+        return
+    attempt = fault_runtime.current_attempt()
+    truncate = None
+    if str(path).endswith(".gz"):
+        truncate = plan.should_fire("io.truncated_gzip", str(path), attempt)
+    for line_number, line in enumerate(handle, start=1):
+        if truncate is not None and line_number > truncate.param:
+            raise EOFError(
+                f"Compressed file ended before the end-of-stream marker "
+                f"was reached (injected truncation of {path})"
+            )
+        yield line_number, plan.corrupt_line(
+            f"{path}:{line_number}", line, attempt
+        )
+
+
 # -- JSONL ---------------------------------------------------------------
 
 
@@ -75,29 +127,34 @@ def write_jsonl(records: Iterable[RequestLog], path: PathLike) -> int:
 
 
 def read_jsonl(
-    path: PathLike, on_error: str = "raise"
+    path: PathLike, on_error: str = "raise", stats: Optional[LineStats] = None
 ) -> Iterator[RequestLog]:
     """Lazily yield records from a JSONL file (optionally gzipped).
 
     ``on_error`` is ``"raise"`` (default: abort with the offending
     line number) or ``"skip"`` (quarantine posture: corrupted lines —
-    truncated writes, partial flushes — are silently dropped, as log
-    pipelines must tolerate).
+    truncated writes, partial flushes — are dropped but tallied in
+    ``stats.skipped``, as log pipelines must tolerate).
     """
     _check_on_error(on_error)
     with _open_text(path, "r") as handle:
-        for line_number, line in enumerate(handle, start=1):
+        for line_number, line in _fault_lines(path, handle):
             line = line.strip()
             if not line:
                 continue
             try:
-                yield RequestLog.from_dict(json.loads(line))
+                record = RequestLog.from_dict(json.loads(line))
             except (json.JSONDecodeError, TypeError, ValueError) as exc:
                 if on_error == "skip":
+                    if stats is not None:
+                        stats.skipped += 1
                     continue
                 raise ValueError(
                     f"{path}: malformed JSONL record on line {line_number}: {exc}"
                 ) from exc
+            if stats is not None:
+                stats.parsed += 1
+            yield record
 
 
 # -- TSV -----------------------------------------------------------------
@@ -132,7 +189,14 @@ def _record_to_row(record: RequestLog) -> str:
         if value is None:
             cells.append(_TSV_NULL)
         elif isinstance(value, str):
-            cells.append(_escape(value) if value else _TSV_NULL)
+            if not value:
+                cells.append(_TSV_NULL)
+            elif value == _TSV_NULL:
+                # A literal "-" value must not collide with the null
+                # marker; "\-" unescapes back to "-" on read.
+                cells.append("\\" + _TSV_NULL)
+            else:
+                cells.append(_escape(value))
         else:
             cells.append(str(value))
     return "\t".join(cells)
@@ -179,25 +243,32 @@ def write_tsv(records: Iterable[RequestLog], path: PathLike) -> int:
     return count
 
 
-def read_tsv(path: PathLike, on_error: str = "raise") -> Iterator[RequestLog]:
+def read_tsv(
+    path: PathLike, on_error: str = "raise", stats: Optional[LineStats] = None
+) -> Iterator[RequestLog]:
     """Lazily yield records from a TSV file (optionally gzipped).
 
-    See :func:`read_jsonl` for the ``on_error`` contract.
+    See :func:`read_jsonl` for the ``on_error``/``stats`` contract.
     """
     _check_on_error(on_error)
     with _open_text(path, "r") as handle:
-        for line_number, line in enumerate(handle, start=1):
+        for line_number, line in _fault_lines(path, handle):
             line = line.rstrip("\n")
             if not line:
                 continue
             try:
-                yield _row_to_record(line)
+                record = _row_to_record(line)
             except (ValueError, KeyError) as exc:
                 if on_error == "skip":
+                    if stats is not None:
+                        stats.skipped += 1
                     continue
                 raise ValueError(
                     f"{path}: malformed TSV record on line {line_number}: {exc}"
                 ) from exc
+            if stats is not None:
+                stats.parsed += 1
+            yield record
 
 
 # -- incremental tail ----------------------------------------------------
@@ -227,6 +298,8 @@ class LogTailer:
         self.on_error = on_error
         self.offset = 0
         self._partial = ""
+        #: Malformed lines dropped so far (``on_error="skip"``).
+        self.skipped = 0
 
     def poll(self) -> List[RequestLog]:
         """Records appended since the previous poll (possibly empty)."""
@@ -254,6 +327,7 @@ class LogTailer:
                     records.append(_row_to_record(line))
             except (json.JSONDecodeError, TypeError, ValueError, KeyError) as exc:
                 if self.on_error == "skip":
+                    self.skipped += 1
                     continue
                 raise ValueError(
                     f"{self.path}: malformed {self.format} record while "
@@ -313,11 +387,13 @@ def write_logs(records: Iterable[RequestLog], path: PathLike) -> int:
     return write_tsv(records, path)
 
 
-def read_logs(path: PathLike, on_error: str = "raise") -> Iterator[RequestLog]:
+def read_logs(
+    path: PathLike, on_error: str = "raise", stats: Optional[LineStats] = None
+) -> Iterator[RequestLog]:
     """Read records, picking the format from the file extension."""
     if _detect_format(path) == "jsonl":
-        return read_jsonl(path, on_error=on_error)
-    return read_tsv(path, on_error=on_error)
+        return read_jsonl(path, on_error=on_error, stats=stats)
+    return read_tsv(path, on_error=on_error, stats=stats)
 
 
 def _check_on_error(on_error: str) -> None:

@@ -32,9 +32,11 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from ..faults import runtime as fault_runtime
 from ..logs.record import RequestLog
 
 __all__ = ["IngestStats", "IngestStage"]
@@ -63,6 +65,7 @@ class IngestStats:
     dropped: int = 0  # records shed by the "drop" policy
     queue_peak: int = 0  # high-water mark of the bounded queue
     blocked_puts: int = 0  # producer stalls (backpressure events)
+    stalls: int = 0  # injected source stalls (fault plans only)
     sources: int = 0
     workers: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -74,6 +77,7 @@ class IngestStats:
             "dropped": self.dropped,
             "queue_peak": self.queue_peak,
             "blocked_puts": self.blocked_puts,
+            "stalls": self.stalls,
             "sources": self.sources,
             "workers": self.workers,
         }
@@ -168,6 +172,7 @@ class IngestStage:
     ) -> None:
         try:
             for index, source in worker_sources:
+                self._fault_stall(index)
                 for record in source:
                     if self._stop.is_set():
                         return
@@ -177,6 +182,22 @@ class IngestStage:
             self._errors.append(exc)
         finally:
             self._put_control(_DONE)
+
+    def _fault_stall(self, source: int) -> None:
+        """``ingest.stall`` hook: delay one source's drain.
+
+        Simulates a cold NFS mount or a slow edge feed.  A stall is a
+        pure delay — no records are lost or reordered within the
+        source — so per-source watermark frontiers must absorb it
+        without declaring the stalled source's records late.  No-op
+        unless a fault plan is installed.
+        """
+        rule = fault_runtime.should_fire("ingest.stall", f"source-{source}")
+        if rule is None:
+            return
+        with self.stats._lock:
+            self.stats.stalls += 1
+        time.sleep(rule.param)
 
     # -- consumer side ---------------------------------------------------
 

@@ -91,9 +91,18 @@ class StreamResult:
     )
     sealed_windows: int = 0
     resumed_windows: int = 0
+    #: Per-record outcomes; exactly one bucket per record, so
+    #: ``records_windowed + late_dropped + resumed_skips`` equals the
+    #: record count fed in (the conservation law).
     records_windowed: int = 0
     late_dropped: int = 0
     resumed_skips: int = 0
+    #: Per-assignment (pane-level) outcomes for sliding windows; a
+    #: record accepted in one pane but late for another shows up here
+    #: without double-counting above.
+    accepted_assignments: int = 0
+    late_assignments: int = 0
+    resumed_assignments: int = 0
     ingest: Optional[IngestStats] = None
 
     @property
@@ -220,6 +229,9 @@ class StreamService:
         result.records_windowed = self._manager.records_windowed
         result.late_dropped = self._manager.late_dropped
         result.resumed_skips = self._manager.resumed_skips
+        result.accepted_assignments = self._manager.accepted_assignments
+        result.late_assignments = self._manager.late_assignments
+        result.resumed_assignments = self._manager.resumed_assignments
         return result
 
     def _make_accumulator(self, start: float, end: float) -> WindowAccumulator:

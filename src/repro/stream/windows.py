@@ -190,38 +190,61 @@ class WindowManager:
             (bounds[0], bounds[1]) for bounds in presealed
         )
         self.records_in = 0
+        #: Per-record outcomes.  Exactly one of these increments per
+        #: processed record (accepted beats late beats resumed), so
+        #: ``records_windowed + late_dropped + resumed_skips ==
+        #: records_in`` holds for tumbling and sliding specs alike.
         self.records_windowed = 0
         self.late_dropped = 0
         self.resumed_skips = 0
+        #: Per-assignment outcomes.  A sliding record lands in up to
+        #: ``window/slide`` panes and may be accepted in some while
+        #: late for others; these tally every pane-level outcome so
+        #: partial lateness stays observable without breaking the
+        #: per-record conservation law above.
+        self.accepted_assignments = 0
+        self.late_assignments = 0
+        self.resumed_assignments = 0
         self.sealed_windows = 0
 
     # -- ingest ----------------------------------------------------------
 
     def process(self, record: RequestLog, source: int = 0) -> None:
-        """Route one record, then seal any window the watermark passed."""
+        """Route one record, then seal any window the watermark passed.
+
+        A sliding record's panes can disagree — accepted in one pane,
+        late for another already-sealed pane — so the per-record
+        counters classify by the *best* pane outcome (accepted > late
+        > resumed) while the ``*_assignments`` counters record every
+        pane-level verdict.  Counting the record in more than one
+        per-record bucket would break the conservation law.
+        """
         self.records_in += 1
         targets = self.spec.assign(record.timestamp)
-        late = False
-        resumed = False
-        accepted = False
+        late = 0
+        resumed = 0
+        accepted = 0
         for bounds in targets:
             if bounds in self.presealed:
-                resumed = True
+                resumed += 1
                 continue
             if bounds[1] <= self.seal_horizon:
-                late = True
+                late += 1
                 continue
             accumulator = self._open.get(bounds)
             if accumulator is None:
                 accumulator = self.factory(bounds[0], bounds[1])
                 self._open[bounds] = accumulator
             accumulator.ingest(record)
-            accepted = True
+            accepted += 1
+        self.accepted_assignments += accepted
+        self.late_assignments += late
+        self.resumed_assignments += resumed
         if accepted:
             self.records_windowed += 1
-        if late:
+        elif late:
             self.late_dropped += 1
-        elif resumed and not accepted:
+        elif resumed:
             self.resumed_skips += 1
         self._seal_up_to(self.watermark.observe(record.timestamp, source))
 

@@ -96,6 +96,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["characterize", "--logs", "a.jsonl", "--logs-dir", "b/"])
 
+    @pytest.mark.parametrize(
+        "command", ["characterize", "patterns", "periodicity", "ngram"]
+    )
+    def test_hardening_flags_parse(self, command):
+        args = build_parser().parse_args(
+            [command, "--shard-timeout", "30", "--retries", "2", "--lenient"]
+        )
+        assert args.shard_timeout == 30.0
+        assert args.retries == 2
+        assert args.lenient is True
+
+    def test_hardening_flags_default_off(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.shard_timeout is None
+        assert args.retries == 0
+        assert args.lenient is False
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "--requests", "100", "--retries", "-1"])
+
+    def test_nonpositive_shard_timeout_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "--requests", "100", "--shard-timeout", "0"])
+
 
 class TestCommands:
     def test_trend(self, capsys):
@@ -122,6 +147,24 @@ class TestCommands:
             ["characterize", "--requests", "2000", "--seed", "1"]
         ) == 0
         assert "Figure 4" in capsys.readouterr().out
+
+    def test_lenient_skips_malformed_lines(self, tmp_path, capsys):
+        out_file = tmp_path / "logs.jsonl"
+        assert main(
+            ["generate", "--requests", "1000", "--seed", "3",
+             "--out", str(out_file)]
+        ) == 0
+        with open(out_file, "a", encoding="utf-8") as handle:
+            handle.write('{"torn mid-write\n')
+        capsys.readouterr()
+        # Strict (default) ingest refuses the damaged file...
+        with pytest.raises(ValueError, match="malformed JSONL"):
+            main(["characterize", "--logs", str(out_file)])
+        # ...lenient skips the bad line and analyzes the rest.
+        assert main(
+            ["characterize", "--logs", str(out_file), "--lenient"]
+        ) == 0
+        assert "Figure 3" in capsys.readouterr().out
 
     def test_windows_command(self, capsys):
         assert main(

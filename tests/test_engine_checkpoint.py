@@ -86,6 +86,114 @@ class TestCheckpointStore:
         with pytest.raises(FileNotFoundError):
             CheckpointStore(tmp_path / "absent", create=False)
 
+    def test_load_returns_fresh_objects(self, tmp_path):
+        """The documented contract: every load unpickles anew, so a
+        caller may mutate what it gets back (the executor merges in
+        place) without corrupting later loads."""
+        store = CheckpointStore(tmp_path)
+        store.save("shard-a", {"values": [1, 2]})
+        first = store.load("shard-a")
+        assert first is not store.load("shard-a")
+        first["values"].append(99)
+        assert store.load("shard-a") == {"values": [1, 2]}
+
+    def test_checksum_mismatch_rejected(self, tmp_path):
+        """Bit-rot that keeps the envelope unpicklable must still be
+        caught — by the payload checksum, not by unpickle luck."""
+        import pickle
+
+        store = CheckpointStore(tmp_path)
+        store.save("shard-a", CharacterizationState())
+        path = store.path_for("shard-a")
+        envelope = pickle.loads(path.read_bytes())
+        payload = bytearray(envelope["payload"])
+        payload[len(payload) // 2] ^= 0xFF  # one flipped bit pattern
+        envelope["payload"] = bytes(payload)
+        path.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            store.load("shard-a")
+
+    def test_legacy_v1_checkpoints_still_load(self, tmp_path):
+        """Pre-checksum checkpoint dirs survive the v2 upgrade."""
+        import pickle
+
+        store = CheckpointStore(tmp_path)
+        state = CharacterizationState()
+        state.ingest(make_log())
+        envelope = {
+            "format": "repro-engine-checkpoint",
+            "version": 1,
+            "shard_id": "shard-v1",
+            "payload": state,  # v1: inline object, no checksum
+        }
+        store.path_for("shard-v1").write_bytes(pickle.dumps(envelope))
+        assert store.has("shard-v1")
+        assert store.load("shard-v1").record_count == 1
+        assert "shard-v1" in store.completed_ids()
+
+    def test_saved_file_survives_a_round_trip_rename(self, tmp_path):
+        """The atomic write leaves no .tmp residue behind."""
+        store = CheckpointStore(tmp_path)
+        store.save("shard-a", CharacterizationState())
+        assert not list(Path(tmp_path).glob("*.tmp"))
+
+
+class _CachingStore(CheckpointStore):
+    """A store that (illegally, per the base contract) caches loaded
+    objects — the sharpest possible probe for merge-base mutation."""
+
+    def __init__(self, directory):
+        super().__init__(directory)
+        self.cache = {}
+
+    def load(self, shard_id):
+        if shard_id not in self.cache:
+            self.cache[shard_id] = super().load(shard_id)
+        return self.cache[shard_id]
+
+
+class TestMergeBaseIsolation:
+    def test_merge_never_mutates_checkpoint_loaded_state(self, tmp_path):
+        """Regression: the merged result used to BE the first
+        checkpoint-loaded state, so in-place merges leaked every other
+        shard's data into whatever object the store handed out."""
+        from repro.engine.shard import plan_memory_shards
+        from tests.test_engine_executor import SumState, sum_shard
+
+        logs = [make_log(response_bytes=index) for index in range(40)]
+        shards = plan_memory_shards(logs, 2)
+        store = _CachingStore(tmp_path / "ckpt")
+        for shard in shards:
+            store.save(shard.shard_id, sum_shard(shard))
+        store.cache.clear()
+
+        merged, report = run_shards(shards, sum_shard, checkpoint=store)
+        assert report.skipped == 2
+        assert sorted(merged.values) == list(range(40))
+        # The cached first state must be untouched by the merge.
+        first = store.cache[shards[0].shard_id]
+        assert merged is not first
+        assert sorted(first.values) == sorted(
+            record.response_bytes for record in shards[0].records
+        )
+        assert first.trace == [shards[0].shard_id]
+
+    def test_two_resumed_runs_agree(self, tmp_path):
+        """A second resume over the same store sees pristine states."""
+        from repro.engine.shard import plan_memory_shards
+        from tests.test_engine_executor import sum_shard
+
+        logs = [make_log(response_bytes=index) for index in range(40)]
+        shards = plan_memory_shards(logs, 2)
+        store = _CachingStore(tmp_path / "ckpt")
+        for shard in shards:
+            store.save(shard.shard_id, sum_shard(shard))
+
+        first, _ = run_shards(shards, sum_shard, checkpoint=store)
+        second, _ = run_shards(shards, sum_shard, checkpoint=store)
+        assert sorted(first.values) == sorted(second.values) == list(range(40))
+        assert first.trace == second.trace
+
 
 def _marking_map_fn(marker_dir):
     """Map fn that leaves one marker file per executed shard."""

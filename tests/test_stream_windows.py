@@ -5,8 +5,10 @@ whose disorder stays within the watermark lag lands in exactly the
 window its timestamp maps to, and any record beyond the lag is
 *counted* in ``late_dropped`` — the conservation law
 ``records_in == records_windowed + late_dropped + resumed_skips``
-holds for every tumbling input stream, so nothing is ever silently
-lost.
+holds for every tumbling *and sliding* input stream, so nothing is
+ever silently lost.  Sliding windows additionally expose pane-level
+``*_assignments`` counters, which must tie out against the sealed
+accumulators' contents.
 """
 
 from __future__ import annotations
@@ -193,6 +195,51 @@ class TestWindowManager:
         for start, end in panes:
             assert start <= BASE_TS + 70.0 < end
 
+    def test_sliding_partial_late_counts_once(self):
+        """Regression: a record late for one pane but accepted in
+        another must count as windowed, not as windowed AND late.
+
+        The exact repro from the bug report: window 10s / slide 5s,
+        lag 6s, timestamps [0, 5, 12, 20, 9].  After ts=20 the
+        watermark is 14, sealing pane (0, 10); ts=9 is late for that
+        pane but still lands in the open pane (5, 15).  The broken
+        accounting produced windowed + late == 6 for 5 records in.
+        """
+        manager, _ = make_manager(window_s=10.0, lag_s=6.0, slide_s=5.0)
+        for offset in (0.0, 5.0, 12.0, 20.0, 9.0):
+            manager.process(make_log(timestamp=BASE_TS + offset))
+        manager.flush()
+        assert manager.records_in == 5
+        assert (
+            manager.records_windowed
+            + manager.late_dropped
+            + manager.resumed_skips
+            == 5
+        )
+        assert manager.records_windowed == 5
+        assert manager.late_dropped == 0
+        # The pane-level miss stays observable:
+        assert manager.late_assignments == 1
+
+    def test_assignment_counters_cover_every_pane(self):
+        manager, sealed = make_manager(window_s=120.0, slide_s=60.0)
+        for offset in (70.0, 130.0):
+            manager.process(make_log(timestamp=BASE_TS + offset))
+        manager.flush()
+        assert manager.accepted_assignments == 4  # 2 records x 2 panes
+        accepted = sum(len(window.timestamps) for window in sealed.values())
+        assert accepted == manager.accepted_assignments
+
+    def test_fully_late_sliding_record_counts_late_once(self):
+        manager, _ = make_manager(window_s=10.0, lag_s=0.0, slide_s=5.0)
+        manager.process(make_log(timestamp=BASE_TS + 40.0))
+        # Both panes containing ts=2 ((-5, 5) and (0, 10)) are sealed.
+        manager.process(make_log(timestamp=BASE_TS + 2.0))
+        manager.flush()
+        assert manager.late_dropped == 1
+        assert manager.late_assignments == 2
+        assert manager.records_windowed == 1
+
 
 # -- property tests ------------------------------------------------------
 
@@ -251,6 +298,45 @@ def test_conservation_no_record_is_silently_lost(events, lag):
     )
     accepted = sum(len(window.timestamps) for window in sealed.values())
     assert accepted == manager.records_windowed
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=7_200.0, allow_nan=False),
+        min_size=1,
+        max_size=80,
+    ),
+    st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+    st.sampled_from([5.0, 10.0, 30.0, 60.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_conservation_holds_for_sliding_windows(events, lag, slide):
+    """The conservation law for sliding specs, where one record can be
+    late for some panes and accepted in others (the historical
+    double-count).  Exactly one per-record bucket per record, and the
+    pane-level counters tie out against the sealed accumulators."""
+    presealed = [(BASE_TS, BASE_TS + 60.0)]
+    manager, sealed = make_manager(
+        window_s=60.0, lag_s=lag, slide_s=slide, presealed=presealed
+    )
+    for event in events:
+        manager.process(make_log(timestamp=BASE_TS + event))
+    manager.flush()
+    assert (
+        manager.records_windowed
+        + manager.late_dropped
+        + manager.resumed_skips
+        == len(events)
+    )
+    accepted = sum(len(window.timestamps) for window in sealed.values())
+    assert accepted == manager.accepted_assignments
+    panes_per_record = math.ceil(60.0 / slide)
+    assert (
+        manager.accepted_assignments
+        + manager.late_assignments
+        + manager.resumed_assignments
+        == len(events) * panes_per_record
+    )
 
 
 @given(
