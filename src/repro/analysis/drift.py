@@ -14,13 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-import numpy as np
-
+from ..core.stats import percentile
 from ..logs.record import RequestLog
 from .characterize import characterize
 from .cacheability import analyze_cacheability
 
 __all__ = [
+    "METRIC_NAMES",
     "MetricDelta",
     "DriftReport",
     "traffic_metrics",
@@ -29,20 +29,50 @@ __all__ = [
 ]
 
 
-def traffic_metrics(logs: Sequence[RequestLog]) -> Dict[str, float]:
+#: Every key :func:`traffic_metrics` emits, in stable order.  The
+#: vector's shape never depends on the data: a window with no JSON
+#: traffic still reports every metric (shares as 0.0, size statistics
+#: as ``None``), so consecutive-window drift comparison never
+#: silently drops metrics for a quiet window.
+METRIC_NAMES = (
+    "json_share",
+    "mobile_share",
+    "embedded_share",
+    "unknown_share",
+    "non_browser_share",
+    "get_share",
+    "uncacheable_share",
+    "mean_json_bytes",
+    "p50_json_bytes",
+)
+
+
+def traffic_metrics(
+    logs: Sequence[RequestLog],
+) -> Dict[str, Optional[float]]:
     """The standard metric vector for drift comparison.
 
     All metrics are shares/means over the collection's JSON traffic
     (plus the JSON share of total), so collections of different sizes
-    compare cleanly.
+    compare cleanly.  Always emits every key in :data:`METRIC_NAMES`:
+    with no JSON records the shares are 0.0 and the size statistics
+    (means over an empty set — undefined, not zero) are ``None``,
+    which :class:`MetricDelta` handles explicitly.
     """
     total = len(logs)
     json_logs = [record for record in logs if record.is_json]
     if not json_logs:
-        return {"json_share": 0.0}
+        return {
+            name: (
+                None
+                if name in ("mean_json_bytes", "p50_json_bytes")
+                else 0.0
+            )
+            for name in METRIC_NAMES
+        }
     source, request_type = characterize(json_logs, json_only=False)
     cache_stats, _ = analyze_cacheability(json_logs, json_only=False)
-    sizes = np.array([record.response_bytes for record in json_logs])
+    sizes = [record.response_bytes for record in json_logs]
     device = source.device_shares()
     return {
         "json_share": len(json_logs) / total if total else 0.0,
@@ -52,38 +82,59 @@ def traffic_metrics(logs: Sequence[RequestLog]) -> Dict[str, float]:
         "non_browser_share": source.non_browser_fraction,
         "get_share": request_type.get_fraction,
         "uncacheable_share": cache_stats.uncacheable_fraction,
-        "mean_json_bytes": float(sizes.mean()),
-        "p50_json_bytes": float(np.percentile(sizes, 50)),
+        "mean_json_bytes": sum(sizes) / len(sizes),
+        "p50_json_bytes": percentile(sizes, 50),
     }
 
 
 @dataclass(frozen=True)
 class MetricDelta:
-    """One metric's movement between two collections."""
+    """One metric's movement between two collections.
+
+    ``None`` on either side means the metric was *undefined* there
+    (e.g. JSON size statistics of a window with no JSON traffic) —
+    distinct from measuring zero.  ``absolute`` is then ``None``
+    (there is no numeric difference), and ``relative`` is ``inf``
+    when the metric appeared or disappeared (definedness itself
+    changed — always reportable drift) or ``0.0`` when it was
+    undefined on both sides (nothing moved).
+    """
 
     name: str
-    before: float
-    after: float
+    before: Optional[float]
+    after: Optional[float]
 
     @property
-    def absolute(self) -> float:
+    def absolute(self) -> Optional[float]:
+        if self.before is None or self.after is None:
+            return None
         return self.after - self.before
 
     @property
     def relative(self) -> float:
+        if self.before is None and self.after is None:
+            return 0.0
+        if self.before is None or self.after is None:
+            return float("inf")
         if self.before == 0:
             return float("inf") if self.after else 0.0
-        return self.absolute / self.before
+        return (self.after - self.before) / self.before
 
     def render(self) -> str:
-        arrow = "↑" if self.absolute > 0 else ("↓" if self.absolute < 0 else "=")
+        absolute = self.absolute
+        if absolute is None:
+            arrow = "="
+        else:
+            arrow = "↑" if absolute > 0 else ("↓" if absolute < 0 else "=")
         rel = (
             f"{self.relative * 100:+.1f}%"
             if self.relative != float("inf")
             else "new"
         )
+        before = "n/a" if self.before is None else f"{self.before:.3f}"
+        after = "n/a" if self.after is None else f"{self.after:.3f}"
         return (
-            f"{self.name:22s} {self.before:12.3f} → {self.after:12.3f}  "
+            f"{self.name:22s} {before:>12s} → {after:>12s}  "
             f"{arrow} {rel}"
         )
 
@@ -126,8 +177,8 @@ class DriftReport:
 
 
 def compare_metrics(
-    before: Dict[str, float],
-    after: Dict[str, float],
+    before: Dict[str, Optional[float]],
+    after: Dict[str, Optional[float]],
     threshold: float = 0.10,
 ) -> DriftReport:
     """Drift report from two pre-computed metric vectors.
@@ -138,8 +189,11 @@ def compare_metrics(
     measure-then-diff convenience over raw log collections.
     """
     names = sorted(set(before) | set(after))
+    # A key absent from one vector is *undefined* there, not zero —
+    # defaulting to 0.0 here is what used to silently shrink drift
+    # reports when a quiet window emitted a truncated vector.
     deltas = [
-        MetricDelta(name, before.get(name, 0.0), after.get(name, 0.0))
+        MetricDelta(name, before.get(name), after.get(name))
         for name in names
     ]
     return DriftReport(deltas=deltas, threshold=threshold)

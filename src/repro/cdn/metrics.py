@@ -3,29 +3,33 @@
 The optimization experiments (prefetching, M2M deprioritization)
 are judged on cache hit ratio and latency percentiles; this module
 accumulates both in a single pass.
+
+Latency percentiles come from a bounded-memory
+:class:`~repro.obs.sketch.QuantileSketch`, not a list of raw samples:
+the previous implementation appended every request's latency forever,
+which at CDN replay scale (millions of requests) was an OOM waiting
+to happen.  The sketch holds a few hundred integer buckets regardless
+of volume, estimates percentiles within ~4.4% relative error, and —
+being the engine-style mergeable accumulator — lets two replays'
+metrics combine exactly (:meth:`DeliveryMetrics.merge`).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
+from ..core import stats
 from ..logs.record import CacheStatus
+from ..obs.sketch import QuantileSketch
 from .edge import ServedRequest
 
 __all__ = ["DeliveryMetrics", "percentile"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile; q in [0, 100]."""
-    if not values:
-        raise ValueError("percentile of empty sequence")
-    if not 0 <= q <= 100:
-        raise ValueError("q must be in [0, 100]")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+    """The repo-wide canonical percentile; see :func:`repro.core.stats.percentile`."""
+    return stats.percentile(values, q)
 
 
 @dataclass
@@ -37,7 +41,7 @@ class DeliveryMetrics:
     no_store: int = 0
     origin_fetches: int = 0
     total_latency_s: float = 0.0
-    latencies_s: List[float] = field(default_factory=list)
+    latency_sketch: QuantileSketch = field(default_factory=QuantileSketch)
     bytes_served: int = 0
 
     def record(self, served: ServedRequest) -> None:
@@ -52,8 +56,19 @@ class DeliveryMetrics:
             self.origin_fetches += 1
         total = served.latency.total_s
         self.total_latency_s += total
-        self.latencies_s.append(total)
+        self.latency_sketch.observe(total)
         self.bytes_served += served.log.response_bytes
+
+    def merge(self, other: "DeliveryMetrics") -> "DeliveryMetrics":
+        """Fold another replay's metrics in (engine merge contract)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.no_store += other.no_store
+        self.origin_fetches += other.origin_fetches
+        self.total_latency_s += other.total_latency_s
+        self.latency_sketch.merge(other.latency_sketch)
+        self.bytes_served += other.bytes_served
+        return self
 
     # -- derived -----------------------------------------------------------
 
@@ -77,7 +92,12 @@ class DeliveryMetrics:
         return self.total_latency_s / self.requests if self.requests else 0.0
 
     def latency_percentile_s(self, q: float) -> float:
-        return percentile(self.latencies_s, q)
+        """Estimated latency percentile, ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if not self.latency_sketch.count:
+            raise ValueError("percentile of empty sequence")
+        return self.latency_sketch.quantile(q / 100.0)
 
     def summary(self) -> Dict[str, float]:
         out: Dict[str, float] = {
@@ -87,7 +107,7 @@ class DeliveryMetrics:
             "origin_fetches": float(self.origin_fetches),
             "mean_latency_ms": self.mean_latency_s * 1e3,
         }
-        if self.latencies_s:
+        if self.latency_sketch.count:
             out["p50_latency_ms"] = self.latency_percentile_s(50) * 1e3
             out["p95_latency_ms"] = self.latency_percentile_s(95) * 1e3
         return out

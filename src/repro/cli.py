@@ -28,6 +28,12 @@ online windowed service (``repro.stream``) over a file, a partitioned
 directory, a growing file (``--follow``) or stdin, emitting one JSONL
 snapshot per sealed event-time window and resuming sealed windows
 from ``--checkpoint-dir`` after a kill.
+
+Every engine-backed command and ``stream`` also accept ``--metrics
+FILE`` (export a metrics snapshot after the run: Prometheus text
+exposition, or the JSON snapshot with a ``.json`` suffix) and
+``--trace FILE`` (recorded stage spans as JSONL) — see
+``repro.obs``.
 """
 
 from __future__ import annotations
@@ -61,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Characterizing JSON Traffic Patterns on a CDN' (IMC 2019)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--metrics", metavar="FILE", dest="metrics",
+            help="write a metrics snapshot after the run "
+                 "(.json for the JSON snapshot, anything else for "
+                 "Prometheus text exposition)",
+        )
+        p.add_argument(
+            "--trace", metavar="FILE", dest="trace",
+            help="write recorded stage spans as JSONL after the run",
+        )
 
     def add_dataset_args(
         p: argparse.ArgumentParser, engine: bool = False
@@ -103,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
                 help="skip (and count) malformed log lines instead of "
                      "failing the read",
             )
+            add_obs_args(p)
 
     gen = sub.add_parser("generate", help="generate a synthetic dataset")
     add_dataset_args(gen)
@@ -226,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --follow: stop after this many consecutive empty "
              "polls (0 = follow forever)",
     )
+    add_obs_args(stream)
 
     paper = sub.add_parser("paper", help="reproduce every table and figure")
     add_dataset_args(paper, engine=True)
@@ -827,7 +847,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--shard-timeout must be positive")
     if getattr(args, "logs", None) and getattr(args, "logs_dir", None):
         parser.error("--logs and --logs-dir are mutually exclusive")
-    return _COMMANDS[args.command](args)
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
+    if not (metrics_path or trace_path):
+        return _COMMANDS[args.command](args)
+    # Observability requested: run the command under an ambient
+    # registry and export whatever it recorded — in a finally block,
+    # so a failed run still leaves its metrics behind for diagnosis.
+    from .obs import MetricsRegistry, installed, write_metrics, write_spans_jsonl
+
+    registry = MetricsRegistry()
+    try:
+        with installed(registry):
+            return _COMMANDS[args.command](args)
+    finally:
+        if metrics_path:
+            write_metrics(registry, metrics_path)
+        if trace_path:
+            write_spans_jsonl(registry, trace_path)
 
 
 if __name__ == "__main__":

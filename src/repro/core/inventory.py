@@ -136,6 +136,11 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         ("repro.stream", "repro.core.pipeline"),
         "benchmarks/test_perf_stream.py", "",
     ),
+    Experiment(
+        "P4", "performance", "Observability overhead (enabled vs disabled)",
+        ("repro.obs", "repro.engine", "repro.stream"),
+        "benchmarks/test_perf_obs.py", "",
+    ),
 )
 
 

@@ -51,6 +51,7 @@ from ..analysis.characterize import (
 from ..analysis.sizes import SizeComparison, SizeDistribution, analyze_sizes
 from ..logs.record import RequestLog
 from ..logs.summary import DatasetSummary
+from ..obs.spans import span
 from ..ngram.evaluate import AccuracyResult, run_table3
 from ..useragent.appid import AppUsageReport, aggregate_apps
 from ..periodicity.detector import DetectorConfig
@@ -458,7 +459,8 @@ def run_characterization_parallel(
         _stage_checkpoint(checkpoint_dir, "characterization"), progress,
         shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
     )
-    state, run_report = executor.run(shards, _characterize_shard)
+    with span("pipeline.characterization", shards=len(shards)):
+        state, run_report = executor.run(shards, _characterize_shard)
     if state is None:
         state = CharacterizationState()
     report = state.to_report(domain_categories)
@@ -517,9 +519,10 @@ def run_periodicity_parallel(
         _stage_checkpoint(checkpoint_dir, "periodicity-flows"), progress,
         shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
     )
-    flow_state, collect_report = collect.run(
-        shards, partial(_flow_collect_shard, flow_filter=flow_filter)
-    )
+    with span("pipeline.periodicity-flows", shards=len(shards)):
+        flow_state, collect_report = collect.run(
+            shards, partial(_flow_collect_shard, flow_filter=flow_filter)
+        )
     if flow_state is None:
         flow_state = FlowCollectionState(flow_filter)
     flows = flow_state.finalize()
@@ -535,14 +538,15 @@ def run_periodicity_parallel(
         _stage_checkpoint(checkpoint_dir, "periodicity-detect"), progress,
         shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
     )
-    detect_state, detect_report = detect.run(
-        detect_shards,
-        partial(
-            _detect_periods_shard,
-            detector_config=detector_config,
-            match_tolerance=match_tolerance,
-        ),
-    )
+    with span("pipeline.periodicity-detect", shards=len(detect_shards)):
+        detect_state, detect_report = detect.run(
+            detect_shards,
+            partial(
+                _detect_periods_shard,
+                detector_config=detector_config,
+                match_tolerance=match_tolerance,
+            ),
+        )
     objects = detect_state.objects if detect_state is not None else {}
     report = PeriodicityReport(
         objects={object_id: objects[object_id] for object_id in sorted(objects)},
@@ -610,9 +614,10 @@ def run_ngram_parallel(
         _stage_checkpoint(checkpoint_dir, "ngram-sequences"), progress,
         shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
     )
-    sequence_state, sequence_report = sequence_stage.run(
-        shards, _ngram_sequences_shard
-    )
+    with span("pipeline.ngram-sequences", shards=len(shards)):
+        sequence_state, sequence_report = sequence_stage.run(
+            shards, _ngram_sequences_shard
+        )
     if sequence_state is None:
         sequence_state = NgramSequenceState()
 
@@ -638,9 +643,10 @@ def run_ngram_parallel(
             progress,
             shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
         )
-        model, train_report = train.run(
-            train_shards, partial(_ngram_train_shard, order=order)
-        )
+        with span("pipeline.ngram-train", variant=variant):
+            model, train_report = train.run(
+                train_shards, partial(_ngram_train_shard, order=order)
+            )
         if model is None:
             model = BackoffNgramModel(order=order)
 
@@ -656,9 +662,10 @@ def run_ngram_parallel(
             progress,
             shard_timeout_s=shard_timeout_s, retries=retries, faults=faults,
         )
-        eval_state, eval_report = evaluate.run(
-            eval_shards, partial(_ngram_eval_shard, model=model, ns=ns, ks=ks)
-        )
+        with span("pipeline.ngram-eval", variant=variant):
+            eval_state, eval_report = evaluate.run(
+                eval_shards, partial(_ngram_eval_shard, model=model, ns=ns, ks=ks)
+            )
         stage_reports.extend([train_report, eval_report])
         for n in ns:
             for k in sorted(ks):

@@ -6,7 +6,28 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ecdf", "histogram", "relative_error", "within"]
+__all__ = ["ecdf", "histogram", "percentile", "relative_error", "within"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The canonical percentile for every report in this repo.
+
+    Linear interpolation between closest ranks (numpy's default), so
+    ``percentile([1, 2, 3, 4], 50) == 2.5``.  One definition exists on
+    purpose: reports previously disagreed on p50 of the same data
+    because ``cdn.metrics`` used nearest-rank while ``analysis.drift``
+    used linear interpolation — both now route through here
+    (``tests/test_core_stats.py`` pins the cross-module agreement).
+
+    ``q`` is in percent, ``[0, 100]``.  Raises :class:`ValueError` on
+    an empty sequence or an out-of-range ``q`` — an undefined
+    percentile must never silently become a number.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q!r}")
+    if len(values) == 0:
+        raise ValueError("percentile of an empty sequence is undefined")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
 
 
 def ecdf(values: Sequence[float]) -> List[Tuple[float, float]]:

@@ -42,11 +42,13 @@ from __future__ import annotations
 import os
 import pickle
 import re
+import time
 from hashlib import blake2b
 from pathlib import Path
 from typing import Any, List, Union
 
 from ..faults import runtime as fault_runtime
+from ..obs import runtime as obs_runtime
 
 __all__ = ["CheckpointStore", "CheckpointError"]
 
@@ -98,6 +100,7 @@ class CheckpointStore:
         temp file → ``fsync`` → ``os.replace``: the real name only
         ever points at a complete, flushed file.
         """
+        started = time.perf_counter()
         payload_bytes = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         # Checksum the pristine bytes first: the corrupt-fault hook
         # damages the payload *after* checksumming, exactly like
@@ -120,10 +123,30 @@ class CheckpointStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        obs_runtime.inc("checkpoint.saves")
+        obs_runtime.observe("checkpoint.save_bytes", len(data))
+        obs_runtime.observe(
+            "checkpoint.save_seconds", time.perf_counter() - started
+        )
         return path
 
     def load(self, shard_id: str) -> Any:
         """Load one shard's partial state, verifying envelope + checksum."""
+        started = time.perf_counter()
+        try:
+            payload = self._load_verified(shard_id)
+        except CheckpointError:
+            # The executor recomputes on this path; count it so
+            # checkpoint rot is visible before it becomes rework.
+            obs_runtime.inc("checkpoint.load_failures")
+            raise
+        obs_runtime.inc("checkpoint.loads")
+        obs_runtime.observe(
+            "checkpoint.load_seconds", time.perf_counter() - started
+        )
+        return payload
+
+    def _load_verified(self, shard_id: str) -> Any:
         path = self.path_for(shard_id)
         try:
             with open(path, "rb") as handle:

@@ -73,6 +73,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from ..faults import FaultPlan, InjectedFault
 from ..faults import runtime as fault_runtime
+from ..obs import runtime as obs_runtime
+from ..obs.registry import MetricsRegistry
+from ..obs.spans import span
 from .checkpoint import CheckpointError, CheckpointStore
 from .shard import Shard
 
@@ -217,12 +220,29 @@ def _fire_map_faults(shard_id: str) -> None:
         raise InjectedFault(f"injected map exception on shard {shard_id!r}")
 
 
+class _MappedShard:
+    """A mapped state paired with its worker-side metrics registry.
+
+    An explicit wrapper, not a tuple — map functions are free to
+    return tuples as their state, so the unwrap in ``record_outcome``
+    must be unambiguous.  Both halves pickle, so the pair crosses the
+    process-pool boundary intact.
+    """
+
+    __slots__ = ("state", "metrics")
+
+    def __init__(self, state: Any, metrics: MetricsRegistry) -> None:
+        self.state = state
+        self.metrics = metrics
+
+
 def _run_one(
     map_fn: MapFn,
     shard: Shard,
     plan: Optional[FaultPlan] = None,
     attempt: int = 0,
     delay_s: float = 0.0,
+    collect_metrics: bool = False,
 ) -> Any:
     """Execute one shard attempt (runs on the pool worker).
 
@@ -235,6 +255,15 @@ def _run_one(
     never touch the global plan after its run has moved on.
     ``delay_s`` is the retry backoff, slept worker-side to keep the
     parent control loop free.
+
+    With ``collect_metrics`` the attempt records into a **fresh
+    per-shard registry** (thread-locally scoped, so thread-backend
+    workers never race into the parent's ambient registry) and
+    returns a :class:`_MappedShard`; the parent folds the registries
+    back in plan order, which is what makes the merged metrics
+    identical serial vs parallel.  Only the attempt that produces the
+    returned state contributes metrics — failed or abandoned attempts
+    surface through the parent-side retry/timeout counters instead.
     """
     if delay_s > 0:
         time.sleep(delay_s)
@@ -242,7 +271,17 @@ def _run_one(
         plan = None  # parent-side install (thread/serial) already covers us
     with fault_runtime.installed(plan), fault_runtime.attempt(attempt):
         _fire_map_faults(shard.shard_id)
-        return map_fn(shard)
+        if not collect_metrics:
+            return map_fn(shard)
+        registry = MetricsRegistry()
+        with obs_runtime.shard_scope(registry):
+            with span("engine.map_shard", shard=shard.shard_id):
+                state = map_fn(shard)
+            registry.inc("engine.shards_mapped")
+            records = getattr(state, "record_count", None)
+            if records is not None:
+                registry.observe("engine.shard_records", records)
+        return _MappedShard(state, registry)
 
 
 @dataclass
@@ -290,6 +329,7 @@ class ShardExecutor:
         self.retries = retries
         self.backoff_s = backoff_s
         self.faults = faults
+        self._collect_metrics = False  # resolved per run from the ambient registry
 
     # -- public API --------------------------------------------------------
 
@@ -312,6 +352,13 @@ class ShardExecutor:
             raise ValueError("shard plan contains duplicate shard ids")
         if self.backend == "process":
             self._ensure_picklable_map_fn(map_fn)
+
+        # Metrics are collected only when a registry is ambient; the
+        # flag is resolved once so every shard attempt of the run
+        # agrees, and per-shard worker registries are folded back in
+        # plan order below (completion order must not matter).
+        self._collect_metrics = obs_runtime.active() is not None
+        shard_metrics: Dict[int, MetricsRegistry] = {}
 
         states: Dict[int, Any] = {}
         results: Dict[int, ShardResult] = {}
@@ -349,6 +396,9 @@ class ShardExecutor:
                            error: Optional[str], attempts: int) -> None:
             nonlocal done_count
             shard = shards[index]
+            if isinstance(state, _MappedShard):
+                shard_metrics[index] = state.metrics
+                state = state.state
             if error is None:
                 states[index] = state
                 if self.checkpoint is not None:
@@ -393,9 +443,43 @@ class ShardExecutor:
             backend=self.backend,
             workers=self.workers,
         )
+        self._record_run_metrics(report, shard_metrics, total)
         if self.strict and report.failed:
             raise EngineError(report.failed)
         return merged, report
+
+    def _record_run_metrics(
+        self,
+        report: RunReport,
+        shard_metrics: Dict[int, MetricsRegistry],
+        total: int,
+    ) -> None:
+        """Fold worker registries and run-level counters into the
+        ambient registry.
+
+        Worker registries merge in plan (index) order — the same
+        discipline as the state reduce — so histogram float sums
+        accumulate identically on every backend.  Runs before the
+        strict-mode raise so a failed run still exports its metrics.
+        """
+        ambient = obs_runtime.active()
+        if ambient is None:
+            return
+        for index in sorted(shard_metrics):
+            ambient.merge(shard_metrics[index])
+        ambient.inc("engine.runs")
+        ambient.inc("engine.shards_planned", total)
+        ambient.inc("engine.shards_from_checkpoint", report.skipped)
+        ambient.inc("engine.shards_completed", report.executed)
+        ambient.inc("engine.shards_failed", len(report.failed))
+        ambient.inc("engine.shard_retries", report.retries)
+        ambient.inc(
+            "engine.recomputed_checkpoints", report.recomputed_checkpoints
+        )
+        for result in report.results:
+            if result.attempts > 0:
+                ambient.observe("engine.shard_seconds", result.seconds)
+        ambient.observe("engine.run_seconds", report.elapsed_seconds)
 
     def _notify(self, result: ShardResult, done: int, total: int) -> None:
         if self.progress is not None:
@@ -444,7 +528,10 @@ class ShardExecutor:
                 if delay > 0:
                     time.sleep(delay)
                 try:
-                    state = _run_one(map_fn, shards[index], self.faults, attempt)
+                    state = _run_one(
+                        map_fn, shards[index], self.faults, attempt,
+                        0.0, self._collect_metrics,
+                    )
                     error = None
                 except Exception:
                     state = None
@@ -478,7 +565,7 @@ class ShardExecutor:
             nonlocal pool
             first_started.setdefault(index, time.perf_counter())
             args = (map_fn, shards[index], self.faults, attempt,
-                    self._backoff(attempt))
+                    self._backoff(attempt), self._collect_metrics)
             try:
                 future = pool.submit(_run_one, *args)
             except (BrokenExecutor, RuntimeError):
@@ -576,8 +663,10 @@ class ShardExecutor:
                     finish(info, state, None, False)
                 continue
             if future.cancel():
+                # Never started running; queue pressure, not a timeout.
                 resubmit(info.index, info.attempt)
                 continue
+            obs_runtime.inc("engine.shard_timeouts")
             finish(
                 info,
                 None,

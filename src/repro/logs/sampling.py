@@ -63,8 +63,9 @@ def sample_requests(
 
     Fine for marginal statistics (§4); wrong for flow analyses — use
     :func:`sample_clients` there.  The decision keys on
-    (client, timestamp), so identical records in different streams
-    sample identically.
+    ``(client, timestamp, url)``, so identical records sample
+    identically in every stream and two same-instant requests from
+    one client to different URLs still decide independently.
     """
     for record in logs:
         key = f"{record.client_id}@{record.timestamp!r}@{record.url}"

@@ -1,0 +1,127 @@
+"""Snapshot exporters: Prometheus text, JSON, and span JSONL.
+
+The registry's native snapshot is a nested dict; these helpers render
+it for the two consumers the CLI serves:
+
+* ``--metrics path.prom`` (or any non-``.json`` suffix) writes the
+  Prometheus text exposition format — counters as-is, gauges as-is,
+  histograms exploded into ``_count`` / ``_sum`` / ``_min`` / ``_max``
+  plus ``{quantile="..."}`` sample lines, so the file scrapes into any
+  Prometheus-compatible stack without an exporter process;
+* ``--metrics path.json`` writes the full snapshot (including raw
+  sketch buckets) for programmatic diffing — the serial-vs-parallel
+  differential suite consumes this shape.
+
+``--trace path.jsonl`` writes one span per line via
+:func:`write_spans_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .registry import MetricsRegistry
+from .sketch import QuantileSketch
+
+__all__ = [
+    "to_prometheus_text",
+    "write_metrics",
+    "write_spans_jsonl",
+]
+
+_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+
+def _prom_name(rendered: str) -> str:
+    """``a.b.c{...}`` → (``a_b_c``, ``{...}``) suitable for Prometheus."""
+    if "{" in rendered:
+        name, labels = rendered.split("{", 1)
+        labels = "{" + labels
+    else:
+        name, labels = rendered, ""
+    return name.replace(".", "_").replace("-", "_"), labels
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN guard; Prometheus accepts NaN but we never emit it
+        return "0"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _merge_labels(labels: str, extra: str) -> str:
+    if not labels:
+        return "{" + extra + "}"
+    return labels[:-1] + "," + extra + "}"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry snapshot in Prometheus text exposition format."""
+    snapshot = registry.snapshot()
+    lines = []
+    seen_types = set()
+
+    def emit_type(name: str, kind: str) -> None:
+        if name not in seen_types:
+            lines.append(f"# TYPE {name} {kind}")
+            seen_types.add(name)
+
+    for rendered, value in snapshot["counters"].items():
+        name, labels = _prom_name(rendered)
+        emit_type(name, "counter")
+        lines.append(f"{name}{labels} {value}")
+
+    for rendered, value in snapshot["gauges"].items():
+        if value is None:
+            continue
+        name, labels = _prom_name(rendered)
+        emit_type(name, "gauge")
+        lines.append(f"{name}{labels} {_format_value(value)}")
+
+    for rendered, data in snapshot["histograms"].items():
+        name, labels = _prom_name(rendered)
+        emit_type(name, "summary")
+        sketch = QuantileSketch.from_dict(data)
+        lines.append(f"{name}_count{labels} {sketch.count}")
+        lines.append(f"{name}_sum{labels} {_format_value(sketch.total)}")
+        if sketch.count:
+            lines.append(f"{name}_min{labels} {_format_value(sketch.min)}")
+            lines.append(f"{name}_max{labels} {_format_value(sketch.max)}")
+            for q in _QUANTILES:
+                merged = _merge_labels(labels, f'quantile="{q}"')
+                lines.append(
+                    f"{name}{merged} {_format_value(sketch.quantile(q))}"
+                )
+
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write a snapshot: JSON for ``.json`` paths, Prometheus text else."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".json":
+        payload: Dict[str, Any] = registry.snapshot()
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    else:
+        path.write_text(to_prometheus_text(registry))
+    return path
+
+
+def write_spans_jsonl(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write the registry's span buffer as one JSON object per line."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in registry.spans:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,316 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a process-local bag of metrics keyed by
+``(name, sorted label items)``.  It is built to ride the engine's
+merge machinery: every metric kind defines ``merge`` so that a
+registry filled per shard and folded **in plan order** equals the
+registry a serial run would have filled — the same contract
+:class:`~repro.engine.state.CharacterizationState` honors, extended
+to telemetry:
+
+* **counters** merge by integer addition (exact, order-free);
+* **histograms** are :class:`~repro.obs.sketch.QuantileSketch`
+  instances and merge bucket-wise (exact counts; sums fold in merge
+  order, which the executor keeps equal to plan order);
+* **gauges** are last-write point samples locally and merge by
+  ``max`` — across shards a gauge is only meaningful as a high-water
+  mark (queue peaks, watermark lag), and ``max`` is the one
+  commutative choice that preserves that reading.
+
+Metric names use dotted paths (``engine.shard_records``).  By
+convention a name ending in ``_seconds`` holds wall-clock timing and
+is **not** expected to be deterministic across runs or backends;
+everything else is, and ``tests/test_obs_differential.py`` holds the
+engine to it.  :meth:`MetricsRegistry.deterministic_snapshot` encodes
+that convention for callers.
+
+Thread safety: the registry serializes all mutation through one
+internal lock (ingest worker threads and the executor's control loop
+share the ambient registry).  The lock is excluded from pickling, so
+registries travel to process-pool workers and back like any engine
+state.
+
+Span records (see :mod:`repro.obs.spans`) live in a bounded buffer on
+the registry; overflow is counted in the ``obs.spans_dropped``
+counter, never silent.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from .sketch import DEFAULT_GROWTH, DEFAULT_MIN_VALUE, QuantileSketch
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricKey"]
+
+#: Canonical metric identity: name plus sorted ``(label, value)`` pairs.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> MetricKey:
+    if not name:
+        raise ValueError("metric name must be non-empty")
+    return (
+        name,
+        tuple(sorted((str(k), str(v)) for k, v in labels.items())),
+    )
+
+
+def render_key(key: MetricKey) -> str:
+    """Human-readable ``name{label="value",...}`` form of a key."""
+    name, labels = key
+    if not labels:
+        return name
+    rendered = ",".join(f'{label}="{value}"' for label, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """Monotone integer counter; merges by addition."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> "Counter":
+        self.value += other.value
+        return self
+
+    def snapshot_value(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Point-sample float; ``set`` overwrites, ``set_max`` ratchets.
+
+    Merging takes the max: across shards only the high-water-mark
+    reading survives meaningfully, and max is commutative.
+    """
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        value = float(value)
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        if other.value is not None:
+            self.set_max(other.value)
+        return self
+
+    def snapshot_value(self) -> Optional[float]:
+        return self.value
+
+
+class Histogram:
+    """A named :class:`QuantileSketch`; merges bucket-wise."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        growth: float = DEFAULT_GROWTH,
+        min_value: float = DEFAULT_MIN_VALUE,
+    ) -> None:
+        self.sketch = QuantileSketch(growth=growth, min_value=min_value)
+
+    def observe(self, value: float) -> None:
+        self.sketch.observe(value)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        self.sketch.merge(other.sketch)
+        return self
+
+    def snapshot_value(self) -> Dict[str, Any]:
+        return self.sketch.to_dict()
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Process-local metric store with engine-style merge semantics."""
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        if max_spans < 0:
+            raise ValueError("max_spans must be >= 0")
+        self.max_spans = max_spans
+        self._metrics: Dict[MetricKey, Any] = {}
+        self.spans: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    # Locks do not pickle; a revived registry gets a fresh one.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- metric access ---------------------------------------------------
+
+    def _get_or_create(self, kind: str, key: MetricKey, **kwargs) -> Any:
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = _KINDS[kind](**kwargs)
+            self._metrics[key] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {render_key(key)} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, /, **labels) -> Counter:
+        with self._lock:
+            return self._get_or_create("counter", _key(name, labels))
+
+    def gauge(self, name: str, /, **labels) -> Gauge:
+        with self._lock:
+            return self._get_or_create("gauge", _key(name, labels))
+
+    def histogram(
+        self,
+        name: str,
+        /,
+        growth: float = DEFAULT_GROWTH,
+        min_value: float = DEFAULT_MIN_VALUE,
+        **labels,
+    ) -> Histogram:
+        with self._lock:
+            return self._get_or_create(
+                "histogram", _key(name, labels),
+                growth=growth, min_value=min_value,
+            )
+
+    # -- convenience mutators (the instrumentation hot path) -------------
+
+    def inc(self, name: str, amount: int = 1, /, **labels) -> None:
+        with self._lock:
+            self._get_or_create("counter", _key(name, labels)).inc(amount)
+
+    def observe(self, name: str, value: float, /, **labels) -> None:
+        with self._lock:
+            self._get_or_create("histogram", _key(name, labels)).observe(value)
+
+    def set_gauge(self, name: str, value: float, /, **labels) -> None:
+        with self._lock:
+            self._get_or_create("gauge", _key(name, labels)).set(value)
+
+    def max_gauge(self, name: str, value: float, /, **labels) -> None:
+        with self._lock:
+            self._get_or_create("gauge", _key(name, labels)).set_max(value)
+
+    def record_span(self, span: Dict[str, Any]) -> None:
+        with self._lock:
+            if len(self.spans) >= self.max_spans:
+                self._get_or_create(
+                    "counter", _key("obs.spans_dropped", {})
+                ).inc()
+                return
+            self.spans.append(span)
+
+    # -- merge -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in; the engine calls this plan-order."""
+        with self._lock:
+            for key, metric in other._metrics.items():
+                mine = self._metrics.get(key)
+                if mine is None:
+                    self._metrics[key] = self._copy_metric(metric)
+                elif mine.kind != metric.kind:
+                    raise ValueError(
+                        f"cannot merge {metric.kind} into {mine.kind} "
+                        f"for {render_key(key)}"
+                    )
+                else:
+                    mine.merge(metric)
+            for span in other.spans:
+                if len(self.spans) >= self.max_spans:
+                    self._get_or_create(
+                        "counter", _key("obs.spans_dropped", {})
+                    ).inc()
+                else:
+                    self.spans.append(span)
+        return self
+
+    @staticmethod
+    def _copy_metric(metric: Any) -> Any:
+        """Fresh metric holding ``metric``'s state (merge must not alias)."""
+        if metric.kind == "histogram":
+            fresh = Histogram(
+                growth=metric.sketch.growth, min_value=metric.sketch.min_value
+            )
+        else:
+            fresh = _KINDS[metric.kind]()
+        return fresh.merge(metric)
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Full state: ``{kind: {rendered key: value}}`` plus spans."""
+        with self._lock:
+            out: Dict[str, Dict[str, Any]] = {
+                "counters": {},
+                "gauges": {},
+                "histograms": {},
+            }
+            for key in sorted(self._metrics):
+                metric = self._metrics[key]
+                bucket = {
+                    "counter": "counters",
+                    "gauge": "gauges",
+                    "histogram": "histograms",
+                }[metric.kind]
+                out[bucket][render_key(key)] = metric.snapshot_value()
+            out["spans"] = {"recorded": len(self.spans)}
+            return out
+
+    def deterministic_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Counters and histograms that must match serial == parallel.
+
+        Drops gauges (point samples), span counts, and any metric
+        whose name ends in ``_seconds`` (wall-clock timing) — the
+        documented nondeterministic surface.  Everything left must be
+        identical field by field for any backend, worker count, or
+        scheduler interleaving of the same shard plan.
+        """
+        full = self.snapshot()
+        def keep(rendered: str) -> bool:
+            name = rendered.split("{", 1)[0]
+            return not name.endswith("_seconds")
+        return {
+            "counters": {
+                key: value
+                for key, value in full["counters"].items()
+                if keep(key)
+            },
+            "histograms": {
+                key: value
+                for key, value in full["histograms"].items()
+                if keep(key)
+            },
+        }
+
+    def metric_names(self) -> List[str]:
+        with self._lock:
+            return sorted({key[0] for key in self._metrics})
+
+    def __len__(self) -> int:
+        return len(self._metrics)

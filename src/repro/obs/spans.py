@@ -1,0 +1,64 @@
+"""Span-based stage tracing.
+
+A span is one timed region of a run — a pipeline stage, a shard
+attempt, a window seal — recorded as a plain dict so it exports to
+JSONL without a schema layer:
+
+```
+{"name": "detect_periods", "seconds": 0.173, "status": "ok",
+ "tags": {"shard": "3"}}
+```
+
+``with span("detect_periods", shard=3):`` times the block on the
+monotonic clock, stamps ``status`` (``"ok"`` or ``"error"`` with the
+exception type), appends the record to the ambient registry's bounded
+span buffer, and feeds the duration into the
+``obs.span_seconds{name=...}`` histogram so stage timing shows up in
+the metrics snapshot too.  Exceptions propagate — tracing never
+swallows a failure.
+
+When no registry is installed the context manager body still runs, of
+course, and the only cost is one clock read on each side of the block
+plus the nil check; hot per-record paths should not be spanned (they
+get counters instead), which keeps the overhead gate honest.
+
+Span durations are wall-clock and therefore live on the documented
+nondeterministic surface (``*_seconds``); differential tests compare
+span *counts* via counters, never durations.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from . import runtime
+
+__all__ = ["span"]
+
+
+@contextmanager
+def span(name: str, **tags) -> Iterator[None]:
+    """Time a block and record it as a span on the ambient registry."""
+    start = time.perf_counter()
+    status = "ok"
+    try:
+        yield
+    except BaseException as exc:
+        status = f"error:{type(exc).__name__}"
+        raise
+    finally:
+        seconds = time.perf_counter() - start
+        registry = runtime.active()
+        if registry is not None:
+            registry.record_span(
+                {
+                    "name": name,
+                    "seconds": seconds,
+                    "status": status,
+                    "tags": {key: str(value) for key, value in tags.items()},
+                }
+            )
+            registry.observe("obs.span_seconds", seconds, name=name)
+            registry.inc("obs.spans", name=name)

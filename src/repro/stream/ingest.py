@@ -38,6 +38,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..faults import runtime as fault_runtime
 from ..logs.record import RequestLog
+from ..obs import runtime as obs_runtime
 
 __all__ = ["IngestStats", "IngestStage"]
 
@@ -231,6 +232,10 @@ class IngestStage:
                     yield (item.source, None)
                     continue
                 self.stats.delivered += 1
+                if self.stats.delivered % 4096 == 0:
+                    obs_runtime.set_gauge(
+                        "ingest.queue_depth", self._queue.qsize()
+                    )
                 yield item
             if self._errors:
                 raise RuntimeError("ingest source failed") from self._errors[0]
@@ -238,6 +243,26 @@ class IngestStage:
             self._stop.set()
             for thread in self._threads:
                 thread.join(timeout=5.0)
+            self._flush_obs()
+
+    def _flush_obs(self) -> None:
+        """Mirror the stage's counters into the ambient registry.
+
+        Flushed once, when consumption ends (including on error), so
+        the obs counters are the settled totals — the producer threads
+        themselves never touch the ambient registry.
+        """
+        registry = obs_runtime.active()
+        if registry is None:
+            return
+        snap = self.stats.snapshot()
+        registry.inc("ingest.records_ingested", snap["ingested"])
+        registry.inc("ingest.records_delivered", snap["delivered"])
+        registry.inc("ingest.records_dropped", snap["dropped"])
+        registry.inc("ingest.blocked_puts", snap["blocked_puts"])
+        registry.inc("ingest.stalls", snap["stalls"])
+        registry.inc("ingest.sources", snap["sources"])
+        registry.max_gauge("ingest.queue_peak", snap["queue_peak"])
 
     def records(self) -> Iterator[RequestLog]:
         """The record stream alone, source tags stripped."""

@@ -36,6 +36,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine.checkpoint import CheckpointError, CheckpointStore
 from ..logs.record import RequestLog
+from ..obs import runtime as obs_runtime
+from ..obs.spans import span
 from ..periodicity.detector import DetectorConfig
 from ..periodicity.flows import FlowFilter
 from .accumulators import ALL_TRACKS, WindowAccumulator
@@ -248,14 +250,24 @@ class StreamService:
         # Checkpoint before emitting: a kill between the two re-seals
         # nothing (the resume skips this window) and at worst re-emits
         # nothing — the window is either durable or not yet announced.
-        if self.store is not None:
-            self.store.save(
-                window_id(bounds),
-                {"bounds": bounds, "accumulator": accumulator},
+        with span("stream.seal_window", window_end=bounds[1]):
+            if self.store is not None:
+                self.store.save(
+                    window_id(bounds),
+                    {"bounds": bounds, "accumulator": accumulator},
+                )
+            snapshot = self._builder.build(
+                accumulator, late_dropped=self._manager.late_dropped
             )
-        snapshot = self._builder.build(
-            accumulator, late_dropped=self._manager.late_dropped
-        )
+        obs_runtime.inc("stream.windows_sealed")
+        obs_runtime.inc("stream.snapshots_built")
+        clock = self._manager.watermark
+        if clock.max_event_time != float("-inf"):
+            # Event-time distance between the newest record seen and
+            # the watermark: the stream's current disorder exposure.
+            obs_runtime.set_gauge(
+                "stream.watermark_lag", clock.max_event_time - clock.value
+            )
         result = self._result
         result.snapshots.append(snapshot)
         if self.keep_accumulators:

@@ -46,6 +46,11 @@ class WindowSnapshot:
     get_share: float
     uncacheable_share: float
     unique_clients: int
+    non_browser_share: float = 0.0
+    #: JSON response-size statistics; ``None`` when the window saw no
+    #: JSON traffic (undefined, not zero — see repro.analysis.drift).
+    mean_json_bytes: Optional[float] = None
+    p50_json_bytes: Optional[float] = None
     device_shares: Dict[str, float] = field(default_factory=dict)
     #: Detected object periods in seconds, sorted (Figure 5 slice).
     detected_periods: List[float] = field(default_factory=list)
@@ -69,6 +74,17 @@ class WindowSnapshot:
             "get_share": round(self.get_share, 6),
             "uncacheable_share": round(self.uncacheable_share, 6),
             "unique_clients": self.unique_clients,
+            "non_browser_share": round(self.non_browser_share, 6),
+            "mean_json_bytes": (
+                None
+                if self.mean_json_bytes is None
+                else round(self.mean_json_bytes, 3)
+            ),
+            "p50_json_bytes": (
+                None
+                if self.p50_json_bytes is None
+                else round(self.p50_json_bytes, 3)
+            ),
             "device_shares": {
                 device: round(share, 6)
                 for device, share in sorted(self.device_shares.items())
@@ -84,12 +100,23 @@ class WindowSnapshot:
         }
 
     @property
-    def metrics(self) -> Dict[str, float]:
-        """The drift-comparison vector for this window."""
+    def metrics(self) -> Dict[str, Optional[float]]:
+        """The drift-comparison vector for this window.
+
+        Shape-stable: every key is present for every window, quiet or
+        busy, so consecutive-window drift reports always cover the
+        full vector (size statistics are ``None`` when undefined).
+        """
         return {
             "json_share": self.json_share,
             "get_share": self.get_share,
             "uncacheable_share": self.uncacheable_share,
+            "mobile_share": self.device_shares.get("mobile", 0.0),
+            "embedded_share": self.device_shares.get("embedded", 0.0),
+            "unknown_share": self.device_shares.get("unknown", 0.0),
+            "non_browser_share": self.non_browser_share,
+            "mean_json_bytes": self.mean_json_bytes,
+            "p50_json_bytes": self.p50_json_bytes,
             "unique_clients": float(self.unique_clients),
             "records": float(self.records),
         }
@@ -147,6 +174,13 @@ class SnapshotBuilder:
             snapshot.uncacheable_share = state.cacheability.uncacheable_fraction
             snapshot.unique_clients = len(summary.clients)
             snapshot.device_shares = state.traffic_source.device_shares()
+            snapshot.non_browser_share = (
+                state.traffic_source.non_browser_fraction
+            )
+            json_sizes = state.sizes.get("application/json")
+            if json_sizes is not None and json_sizes.count:
+                snapshot.mean_json_bytes = json_sizes.mean
+                snapshot.p50_json_bytes = json_sizes.percentile(50)
         if self.detect_periods and accumulator.flows is not None:
             detector = (
                 PeriodDetector(self.detector_config)

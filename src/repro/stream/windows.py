@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..logs.record import RequestLog
+from ..obs import runtime as obs_runtime
 
 __all__ = ["WindowBounds", "WindowSpec", "WatermarkClock", "WindowManager"]
 
@@ -206,6 +207,7 @@ class WindowManager:
         self.late_assignments = 0
         self.resumed_assignments = 0
         self.sealed_windows = 0
+        self._obs_flushed = False
 
     # -- ingest ----------------------------------------------------------
 
@@ -255,6 +257,25 @@ class WindowManager:
     def flush(self) -> None:
         """End of stream: seal every window still open."""
         self._seal_up_to(float("inf"))
+        self._flush_obs()
+
+    def _flush_obs(self) -> None:
+        """Mirror the manager's settled counters into the ambient
+        registry, once per manager (flush may be called repeatedly)."""
+        if self._obs_flushed:
+            return
+        registry = obs_runtime.active()
+        if registry is None:
+            return
+        self._obs_flushed = True
+        registry.inc("windows.records_in", self.records_in)
+        registry.inc("windows.records_windowed", self.records_windowed)
+        registry.inc("windows.late_dropped", self.late_dropped)
+        registry.inc("windows.resumed_skips", self.resumed_skips)
+        registry.inc("windows.accepted_assignments", self.accepted_assignments)
+        registry.inc("windows.late_assignments", self.late_assignments)
+        registry.inc("windows.resumed_assignments", self.resumed_assignments)
+        registry.inc("windows.sealed", self.sealed_windows)
 
     # -- introspection ---------------------------------------------------
 

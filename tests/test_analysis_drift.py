@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.analysis.drift import MetricDelta, compare_traffic, traffic_metrics
+from repro.analysis.drift import (
+    METRIC_NAMES,
+    MetricDelta,
+    compare_metrics,
+    compare_traffic,
+    traffic_metrics,
+)
 from repro.logs.record import CacheStatus, HttpMethod
 from tests.conftest import make_log
 
@@ -23,9 +29,23 @@ class TestTrafficMetrics:
         ):
             assert key in metrics
 
-    def test_empty_json(self):
+    def test_empty_json_emits_full_stable_vector(self):
+        # A collection with no JSON records must still report every
+        # metric: shares measure zero, size statistics are undefined
+        # (None).  Truncating the vector here used to silently drop
+        # eight metrics from quiet-window drift reports.
         metrics = traffic_metrics(batch(3, mime_type="text/html"))
-        assert metrics == {"json_share": 0.0}
+        assert set(metrics) == set(METRIC_NAMES)
+        assert metrics["json_share"] == 0.0
+        assert metrics["get_share"] == 0.0
+        assert metrics["mean_json_bytes"] is None
+        assert metrics["p50_json_bytes"] is None
+        defined = {
+            name: value
+            for name, value in metrics.items()
+            if name not in ("mean_json_bytes", "p50_json_bytes")
+        }
+        assert all(value == 0.0 for value in defined.values())
 
     def test_json_share(self):
         logs = batch(3) + batch(1, mime_type="text/html")
@@ -45,6 +65,22 @@ class TestMetricDelta:
     def test_render_direction(self):
         assert "↑" in MetricDelta("x", 1.0, 2.0).render()
         assert "↓" in MetricDelta("x", 2.0, 1.0).render()
+
+    def test_none_sides_are_explicit(self):
+        # Undefined-on-both-sides: nothing moved.
+        both = MetricDelta("x", None, None)
+        assert both.absolute is None
+        assert both.relative == 0.0
+        # Appearing or disappearing is always reportable drift.
+        appeared = MetricDelta("x", None, 3.0)
+        disappeared = MetricDelta("x", 3.0, None)
+        assert appeared.absolute is None
+        assert appeared.relative == float("inf")
+        assert disappeared.relative == float("inf")
+        # render must not crash on undefined sides.
+        assert "n/a" in appeared.render()
+        assert "n/a" in disappeared.render()
+        assert "n/a" in both.render()
 
 
 class TestCompareTraffic:
@@ -86,6 +122,35 @@ class TestCompareTraffic:
         sample = short_dataset.logs[:2000]
         text = compare_traffic(sample, sample).render()
         assert "metrics drifted" in text
+
+    def test_no_json_window_vs_normal_window(self):
+        # The quiet-window regression: before the fix, a no-JSON
+        # collection emitted only {"json_share": 0.0} and the other
+        # eight metrics vanished from the drift report entirely.
+        quiet = batch(50, mime_type="text/html")
+        busy = batch(50)
+        report = compare_traffic(quiet, busy)
+        assert {delta.name for delta in report.deltas} == set(METRIC_NAMES)
+        json_share = report.get("json_share")
+        assert json_share.before == 0.0
+        assert json_share.after == 1.0
+        # Size statistics went from undefined to defined: flagged as
+        # drift (inf), never silently treated as a move from zero.
+        mean_bytes = report.get("mean_json_bytes")
+        assert mean_bytes.before is None
+        assert mean_bytes.after is not None
+        assert mean_bytes.relative == float("inf")
+        assert mean_bytes in report.drifted()
+        # The reverse direction (busy → quiet) is symmetric.
+        reverse = compare_traffic(busy, quiet)
+        assert reverse.get("mean_json_bytes").relative == float("inf")
+        assert reverse.render()  # full report renders with n/a cells
+
+    def test_compare_metrics_missing_key_is_undefined(self):
+        report = compare_metrics({"a": 1.0}, {"a": 1.0, "b": 2.0})
+        b = report.get("b")
+        assert b.before is None
+        assert b.relative == float("inf")
 
     def test_split_dataset_halves_are_similar(self, short_dataset):
         logs = short_dataset.logs

@@ -184,15 +184,70 @@ class TestLatencyModel:
 
 
 class TestDeliveryMetrics:
-    def test_percentile_nearest_rank(self):
-        assert percentile([1, 2, 3, 4], 50) == 2
+    def test_percentile_linear_interpolation(self):
+        # The repo-wide canonical definition (repro.core.stats):
+        # linear interpolation between closest ranks, not nearest-rank.
+        assert percentile([1, 2, 3, 4], 50) == 2.5
         assert percentile([1, 2, 3, 4], 100) == 4
+        assert percentile([1, 2, 3, 4], 0) == 1
 
     def test_percentile_validates(self):
         with pytest.raises(ValueError):
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1], 200)
+
+    def test_latency_memory_stays_bounded(self):
+        # Regression: latencies used to accumulate in an unbounded
+        # list (one float per served request, forever).  The sketch
+        # keeps a bounded bucket grid no matter the request volume.
+        import math
+
+        metrics = DeliveryMetrics()
+        for i in range(100_000):
+            # Latencies spread over ~5 decades (10µs .. 10s).
+            metrics.latency_sketch.observe(1e-5 * 10 ** ((i % 1000) / 200))
+        assert metrics.latency_sketch.count == 100_000
+        # log(1e6 dynamic range) / log(growth) ≈ a few hundred buckets.
+        grid_bound = (
+            math.log(1e7) / math.log(metrics.latency_sketch.growth) + 2
+        )
+        assert len(metrics.latency_sketch.buckets) <= grid_bound
+        assert len(metrics.latency_sketch.buckets) < 500
+
+    def test_sketch_percentiles_track_exact(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        metrics = DeliveryMetrics()
+        exact = []
+        endpoint = domain.manifests[0]
+        for t in range(200):
+            served = edge.serve(
+                RequestEvent(float(t), client, domain, endpoint)
+            )
+            exact.append(served.latency.total_s)
+            metrics.record(served)
+        for q in (50, 90, 99):
+            estimate = metrics.latency_percentile_s(q)
+            truth = percentile(exact, q)
+            # Sketch relative error is bounded by growth - 1 (~4.4%).
+            assert estimate == pytest.approx(truth, rel=0.05)
+
+    def test_metrics_merge_matches_single_pass(self, edge, client, domains):
+        domain = cacheable_domain(domains)
+        endpoint = domain.manifests[0]
+        single = DeliveryMetrics()
+        left, right = DeliveryMetrics(), DeliveryMetrics()
+        for t in range(40):
+            served = edge.serve(
+                RequestEvent(float(t), client, domain, endpoint)
+            )
+            single.record(served)
+            (left if t < 20 else right).record(served)
+        merged = left.merge(right)
+        merged_summary, single_summary = merged.summary(), single.summary()
+        assert set(merged_summary) == set(single_summary)
+        for key, value in single_summary.items():
+            assert merged_summary[key] == pytest.approx(value)
 
     def test_metrics_accumulate(self, edge, client, domains):
         domain = cacheable_domain(domains)

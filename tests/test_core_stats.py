@@ -1,0 +1,74 @@
+"""Cross-module consistency for the canonical percentile.
+
+``repro.core.stats.percentile`` is the single repo-wide percentile
+definition (numpy linear interpolation between closest ranks).  Both
+exact-sample callers — ``repro.cdn.metrics`` and
+``repro.analysis.drift`` — must route through it, and the
+bounded-memory sketch estimate must stay within its documented error
+of the same definition.
+"""
+
+import random
+
+import pytest
+
+from repro.cdn import metrics as cdn_metrics
+from repro.core import stats
+from repro.obs.sketch import QuantileSketch
+
+
+class TestCanonicalPercentile:
+    def test_linear_interpolation_definition(self):
+        assert stats.percentile([1, 2, 3, 4], 50) == 2.5
+        assert stats.percentile([10], 0) == 10
+        assert stats.percentile([10], 100) == 10
+        assert stats.percentile([0, 10], 25) == 2.5
+
+    def test_validates_range_and_empty(self):
+        with pytest.raises(ValueError):
+            stats.percentile([], 50)
+        with pytest.raises(ValueError):
+            stats.percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            stats.percentile([1.0], 101)
+
+    def test_order_invariant(self):
+        data = [5.0, 1.0, 4.0, 2.0, 3.0]
+        assert stats.percentile(data, 40) == stats.percentile(
+            sorted(data), 40
+        )
+
+
+class TestCrossModuleConsistency:
+    def test_cdn_metrics_is_the_same_function(self):
+        data = [random.Random(3).uniform(0, 100) for _ in range(500)]
+        for q in (0, 10, 50, 90, 95, 99, 100):
+            assert cdn_metrics.percentile(data, q) == stats.percentile(
+                data, q
+            )
+
+    def test_drift_p50_matches_canonical(self):
+        # traffic_metrics computes p50_json_bytes via the canonical
+        # helper — spot-check against a hand-built collection.
+        from repro.analysis.drift import traffic_metrics
+        from tests.conftest import make_log
+
+        logs = [
+            make_log(timestamp=float(i), response_bytes=size)
+            for i, size in enumerate([100, 200, 300, 400])
+        ]
+        metrics = traffic_metrics(logs)
+        assert metrics["p50_json_bytes"] == stats.percentile(
+            [100, 200, 300, 400], 50
+        )
+
+    def test_sketch_estimate_within_documented_error(self):
+        rng = random.Random(11)
+        data = [rng.lognormvariate(0.0, 1.5) for _ in range(20_000)]
+        sketch = QuantileSketch().update(data)
+        for q in (50, 90, 99):
+            exact = stats.percentile(data, q)
+            estimate = sketch.quantile(q / 100.0)
+            assert stats.relative_error(estimate, exact) <= (
+                sketch.growth - 1.0 + 1e-9
+            )

@@ -89,7 +89,7 @@ class TestDesignDoc:
 class TestDocsDirectory:
     def test_guides_present(self):
         for name in ("architecture.md", "calibration.md", "periodicity.md",
-                     "prediction.md"):
+                     "prediction.md", "observability.md"):
             assert (REPO / "docs" / name).is_file(), name
 
     def test_module_references_resolve(self):

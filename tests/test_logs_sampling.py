@@ -88,6 +88,46 @@ class TestClientSampling:
         per_object = Counter(record.object_id for record in sampled)
         assert all(count == 5 for count in per_object.values())
 
+    def test_request_sampling_is_stream_independent(self):
+        # The decision keys on (client, timestamp, url) only, so the
+        # same record samples identically no matter which stream it
+        # arrives in, in what order, or alongside what neighbors.
+        logs = self._logs()
+        straight = [
+            r.url + "@" + r.client_id + "@" + repr(r.timestamp)
+            for r in sample_requests(logs, 0.4, seed=9)
+        ]
+        shuffled_input = list(reversed(logs))
+        reversed_keys = {
+            r.url + "@" + r.client_id + "@" + repr(r.timestamp)
+            for r in sample_requests(shuffled_input, 0.4, seed=9)
+        }
+        assert set(straight) == reversed_keys
+        # Split into two streams: the union of decisions matches the
+        # single-stream decisions record for record.
+        half = len(logs) // 2
+        split_keys = {
+            r.url + "@" + r.client_id + "@" + repr(r.timestamp)
+            for part in (logs[:half], logs[half:])
+            for r in sample_requests(part, 0.4, seed=9)
+        }
+        assert split_keys == set(straight)
+
+    def test_request_sampling_seed_and_url_independence(self):
+        logs = self._logs()
+        seed_a = {id(r) for r in sample_requests(logs, 0.4, seed=1)}
+        seed_b = {id(r) for r in sample_requests(logs, 0.4, seed=2)}
+        assert seed_a != seed_b
+        # Same client, same instant, different URLs: independent
+        # decisions, not one shared coin flip.
+        twins = [
+            make_log(timestamp=10.0, client_ip_hash="cSAME",
+                     url=f"/api/v1/item/{i}")
+            for i in range(64)
+        ]
+        kept = list(sample_requests(twins, 0.5, seed=0))
+        assert 0 < len(kept) < len(twins)
+
     def test_periodicity_survives_client_sampling(self, long_json_logs):
         """The §5 use case: flows in the sample are analyzable whole."""
         from repro.periodicity.flows import FlowFilter, extract_flows

@@ -1,0 +1,182 @@
+"""Merge-algebra properties of the observability accumulators.
+
+The engine folds per-shard metric registries in plan order, exactly
+as it folds analysis states — so :class:`~repro.obs.sketch.QuantileSketch`
+and :class:`~repro.obs.registry.MetricsRegistry` must satisfy the
+same commutative-monoid contract ``tests/test_engine_merge_properties.py``
+pins for the analysis states: merge in any order, any grouping, with
+empty states interleaved, equals the single-stream fold; and states
+survive the process-pool pickle boundary.
+
+Observations are integer-valued so every canonical projection —
+bucket counts *and* running sums — compares exactly, with no
+float-association caveats.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sketch import QuantileSketch
+
+TRIALS = 20
+
+
+def random_split(items, rng, parts):
+    buckets = [[] for _ in range(parts)]
+    for item in items:
+        buckets[rng.randrange(parts)].append(item)
+    return buckets
+
+
+def roundtrip(state):
+    return pickle.loads(pickle.dumps(state))
+
+
+class TestQuantileSketchAlgebra:
+    def stream(self, rng):
+        return [float(rng.randrange(1, 10_000)) for _ in range(rng.randrange(5, 120))]
+
+    def build(self, values):
+        return QuantileSketch().update(values)
+
+    def canonical(self, sketch):
+        return sketch.to_dict()
+
+    def test_commutative(self):
+        rng = random.Random(101)
+        for _ in range(TRIALS):
+            left, right = random_split(self.stream(rng), rng, 2)
+            ab = self.build(left).merge(self.build(right))
+            ba = self.build(right).merge(self.build(left))
+            assert self.canonical(ab) == self.canonical(ba)
+
+    def test_associative(self):
+        rng = random.Random(202)
+        for _ in range(TRIALS):
+            a, b, c = random_split(self.stream(rng), rng, 3)
+            left = self.build(a).merge(self.build(b)).merge(self.build(c))
+            right = self.build(a).merge(self.build(b).merge(self.build(c)))
+            assert self.canonical(left) == self.canonical(right)
+
+    def test_identity(self):
+        rng = random.Random(303)
+        values = self.stream(rng)
+        expected = self.canonical(self.build(values))
+        assert self.canonical(
+            self.build(values).merge(QuantileSketch())
+        ) == expected
+        assert self.canonical(
+            QuantileSketch().merge(self.build(values))
+        ) == expected
+
+    def test_split_invariant(self):
+        rng = random.Random(404)
+        for _ in range(TRIALS):
+            values = self.stream(rng)
+            expected = self.canonical(self.build(values))
+            merged = QuantileSketch()
+            for part in random_split(values, rng, rng.randrange(2, 6)):
+                merged.merge(self.build(part))
+            assert self.canonical(merged) == expected
+
+    def test_pickle_roundtrip(self):
+        rng = random.Random(505)
+        values = self.stream(rng)
+        sketch = self.build(values)
+        assert self.canonical(roundtrip(sketch)) == self.canonical(sketch)
+        left, right = random_split(values, rng, 2)
+        merged = roundtrip(self.build(left)).merge(roundtrip(self.build(right)))
+        assert self.canonical(merged) == self.canonical(self.build(values))
+
+
+class TestRegistryAlgebra:
+    """One trial item = one metric event; a registry accumulates them."""
+
+    def stream(self, rng):
+        events = []
+        for _ in range(rng.randrange(5, 80)):
+            kind = rng.randrange(3)
+            if kind == 0:
+                events.append(
+                    ("inc", f"c.{rng.randrange(4)}", rng.randrange(1, 5))
+                )
+            elif kind == 1:
+                events.append(
+                    ("observe", f"h.{rng.randrange(3)}",
+                     float(rng.randrange(1, 1000)))
+                )
+            else:
+                events.append(
+                    ("max_gauge", f"g.{rng.randrange(2)}",
+                     float(rng.randrange(100)))
+                )
+        return events
+
+    def build(self, events):
+        registry = MetricsRegistry()
+        for kind, name, value in events:
+            getattr(registry, kind)(name, value)
+        return registry
+
+    def canonical(self, registry):
+        snap = registry.snapshot()
+        return (snap["counters"], snap["gauges"], snap["histograms"])
+
+    def test_commutative(self):
+        rng = random.Random(111)
+        for _ in range(TRIALS):
+            left, right = random_split(self.stream(rng), rng, 2)
+            ab = self.build(left).merge(self.build(right))
+            ba = self.build(right).merge(self.build(left))
+            assert self.canonical(ab) == self.canonical(ba)
+
+    def test_associative(self):
+        rng = random.Random(222)
+        for _ in range(TRIALS):
+            a, b, c = random_split(self.stream(rng), rng, 3)
+            left = self.build(a).merge(self.build(b)).merge(self.build(c))
+            right = self.build(a).merge(self.build(b).merge(self.build(c)))
+            assert self.canonical(left) == self.canonical(right)
+
+    def test_identity(self):
+        rng = random.Random(333)
+        events = self.stream(rng)
+        expected = self.canonical(self.build(events))
+        assert self.canonical(
+            self.build(events).merge(MetricsRegistry())
+        ) == expected
+        assert self.canonical(
+            MetricsRegistry().merge(self.build(events))
+        ) == expected
+
+    def test_split_invariant(self):
+        rng = random.Random(444)
+        for _ in range(TRIALS):
+            events = self.stream(rng)
+            expected = self.canonical(self.build(events))
+            merged = MetricsRegistry()
+            for part in random_split(events, rng, rng.randrange(2, 6)):
+                merged.merge(self.build(part))
+            assert self.canonical(merged) == expected
+
+    def test_pickle_roundtrip(self):
+        rng = random.Random(555)
+        events = self.stream(rng)
+        registry = self.build(events)
+        assert self.canonical(roundtrip(registry)) == self.canonical(registry)
+        left, right = random_split(events, rng, 2)
+        merged = roundtrip(self.build(left)).merge(
+            roundtrip(self.build(right))
+        )
+        assert self.canonical(merged) == self.canonical(self.build(events))
+
+    def test_spans_concatenate_in_merge_order(self):
+        left = MetricsRegistry()
+        left.record_span({"name": "a"})
+        right = MetricsRegistry()
+        right.record_span({"name": "b"})
+        merged = left.merge(right)
+        assert [s["name"] for s in merged.spans] == ["a", "b"]

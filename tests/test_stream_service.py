@@ -86,6 +86,47 @@ class TestSnapshotsAndEmission:
         assert result.snapshots[0].drift == {}
         assert "json_share" in result.snapshots[1].drift
 
+    def test_quiet_window_drift_covers_full_vector(self):
+        # Regression: a window with no JSON traffic used to emit a
+        # truncated metric vector, so quiet-window drift reports
+        # silently dropped every metric except json_share.  Both
+        # windows now report the same shape-stable vector and the
+        # undefined size statistics surface explicitly.
+        from repro.analysis.drift import METRIC_NAMES
+
+        busy = [
+            make_log(timestamp=BASE_TS + index * 2.0)
+            for index in range(30)
+        ]
+        quiet = [
+            make_log(
+                timestamp=BASE_TS + 60.0 + index * 2.0,
+                mime_type="text/html",
+                url="/page",
+            )
+            for index in range(30)
+        ]
+        result = StreamService(fast_config()).replay(busy + quiet)
+        assert result.sealed_windows == 2
+        first, second = result.snapshots
+        # Shape-stable vectors: every drift metric present either way.
+        assert set(METRIC_NAMES) < set(first.metrics)
+        assert set(first.metrics) == set(second.metrics)
+        # Quiet window: shares collapse to zero, sizes are undefined.
+        assert second.metrics["json_share"] == 0.0
+        assert second.metrics["mean_json_bytes"] is None
+        assert first.metrics["mean_json_bytes"] is not None
+        # The busy→quiet transition is visible for the *full* vector:
+        # shares that moved plus the disappeared size statistics.
+        drift = second.drift
+        assert "json_share" in drift
+        assert "mean_json_bytes" in drift
+        assert drift["mean_json_bytes"]["after"] is None
+        # JSONL round-trip: None serializes as null, not 0.
+        line = json.loads(json.dumps(second.to_dict()))
+        assert line["mean_json_bytes"] is None
+        assert line["p50_json_bytes"] is None
+
     def test_on_snapshot_callback_fires_in_order(self):
         seen = []
         service = StreamService(
